@@ -1,0 +1,223 @@
+package repro
+
+// One benchmark per table/figure in the paper's evaluation. The
+// simulated-cycle metrics (cycles/block) are the paper's own units;
+// wall-clock ns/op additionally measures the simulator itself.
+//
+//	E1  BenchmarkE1_CompiledAES, BenchmarkE1_AsmAES
+//	E2  BenchmarkE2_OptSweep/<config>
+//	E3  BenchmarkE3_CodeSize (reports bytes as metrics)
+//	E4  BenchmarkE4_PlainRedirect, BenchmarkE4_SecureRedirect
+//	E5  exercised by TestE5 in internal/redirector (not a throughput
+//	    experiment; nothing to time)
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/aesasm"
+	"repro/internal/aesc"
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+	"repro/internal/dcc"
+	"repro/internal/issl"
+)
+
+// benchAESChain runs b.N chained encryptions on the given machine kind
+// and reports simulated cycles/block.
+func BenchmarkE1_CompiledAES(b *testing.B) {
+	m, err := aesc.Build(dcc.Options{Debug: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var key, blk [16]byte
+	for i := range key {
+		key[i] = byte(i)
+		blk[i] = byte(i * 3)
+	}
+	b.SetBytes(16)
+	b.ResetTimer()
+	_, cycles, err := m.EncryptChain(key, blk, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/block")
+	b.ReportMetric(core.KBPerSecond(float64(cycles)/float64(b.N)), "KB/s@30MHz")
+}
+
+func BenchmarkE1_AsmAES(b *testing.B) {
+	m, err := aesasm.Load()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var key, blk [16]byte
+	for i := range key {
+		key[i] = byte(i)
+		blk[i] = byte(i * 3)
+	}
+	b.SetBytes(16)
+	b.ResetTimer()
+	_, cycles, err := m.EncryptChain(key, blk, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/block")
+	b.ReportMetric(core.KBPerSecond(float64(cycles)/float64(b.N)), "KB/s@30MHz")
+}
+
+func BenchmarkE2_OptSweep(b *testing.B) {
+	for _, cfg := range core.E2Configs {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			m, err := aesc.Build(cfg.Opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var key, blk [16]byte
+			b.SetBytes(16)
+			b.ResetTimer()
+			_, cycles, err := m.EncryptChain(key, blk, b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/block")
+			b.ReportMetric(float64(m.CodeSize()), "code-bytes")
+		})
+	}
+}
+
+func BenchmarkE3_CodeSize(b *testing.B) {
+	// Code size is a static property; the benchmark exists so the
+	// `-bench` run prints the E3 row alongside the timing tables.
+	res, err := core.RunE3()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = res
+	}
+	b.ReportMetric(float64(res.AsmSize), "asm-bytes")
+	b.ReportMetric(float64(res.CSizeBase), "c-bytes")
+	b.ReportMetric(res.AsmSmallerBy*100, "asm-smaller-%")
+}
+
+func BenchmarkE4_PlainRedirect(b *testing.B) {
+	benchRedirect(b, false)
+}
+
+func BenchmarkE4_SecureRedirect(b *testing.B) {
+	benchRedirect(b, true)
+}
+
+func benchRedirect(b *testing.B, secure bool) {
+	// Each iteration pumps a fixed payload; throughput comes from
+	// SetBytes. Keep payload big enough to amortize the handshake.
+	const payload = 128 * 1024
+	b.SetBytes(payload)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		kbps, err := core.RedirectorThroughput(secure, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = kbps
+	}
+	b.ReportMetric(last, "KB/s")
+}
+
+// --- E9 (extension): session resumption, the Goldberg et al. mechanism ----
+
+func BenchmarkE9_FullHandshake(b *testing.B) {
+	benchHandshake(b, false)
+}
+
+func BenchmarkE9_ResumedHandshake(b *testing.B) {
+	benchHandshake(b, true)
+}
+
+func benchHandshake(b *testing.B, resumed bool) {
+	key, err := rsa.GenerateKey(prng.NewXorshift(0xBE9C), 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := issl.NewSessionCache(4)
+	var sess *issl.Session
+	do := func(resume *issl.Session, seed uint64) *issl.Conn {
+		ct, st := net.Pipe()
+		done := make(chan error, 1)
+		go func() {
+			_, err := issl.BindServer(st, issl.Config{Profile: issl.ProfileUnix,
+				ServerKey: key, Rand: prng.NewXorshift(seed + 1), Cache: cache})
+			done <- err
+		}()
+		conn, err := issl.BindClient(ct, issl.Config{Profile: issl.ProfileUnix,
+			Rand: prng.NewXorshift(seed), Resume: resume})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		return conn
+	}
+	if resumed {
+		sess = do(nil, 1).Session()
+		if sess == nil {
+			b.Fatal("no session issued")
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn := do(sess, uint64(100+i))
+		if resumed && !conn.Resumed() {
+			b.Fatal("handshake not resumed")
+		}
+	}
+}
+
+// --- Ablation: per-access cost of xmem vs root data placement -------------
+
+// BenchmarkAblation_DataPlacement isolates the mechanism behind the
+// "moving data to root memory" optimization: the same array-hammering
+// program compiled with data in the bank-switched window (per-access
+// XPC programming) vs in root memory (direct addressing).
+func BenchmarkAblation_DataPlacement(b *testing.B) {
+	const src = `
+int out;
+char buf[64];
+void main() {
+    int pass; int i; int acc;
+    acc = 0;
+    for (pass = 0; pass < 50; pass = pass + 1) {
+        for (i = 0; i < 64; i = i + 1) buf[i] = i;
+        for (i = 0; i < 64; i = i + 1) acc = acc + buf[i];
+    }
+    out = acc;
+}`
+	for _, tc := range []struct {
+		name string
+		opt  dcc.Options
+	}{
+		{"xmem", dcc.Options{}},
+		{"root", dcc.Options{RootData: true}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			comp, err := dcc.Compile(src, tc.opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				m := dcc.NewMachine(comp)
+				if err := m.Run(100_000_000); err != nil {
+					b.Fatal(err)
+				}
+				total = m.CPU.Cycles
+			}
+			// 50 passes x 128 accesses.
+			b.ReportMetric(float64(total)/(50*128), "simcycles/access")
+		})
+	}
+}

@@ -1,0 +1,61 @@
+// Command dccc compiles Dynamic C subset source for the Rabbit 2000
+// simulator, exposing the optimization knobs the paper's §6 swept.
+//
+// Usage:
+//
+//	dccc [-g] [-unroll] [-rootdata] [-O] [-S] [-o out.bin] prog.dc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dcc"
+)
+
+func main() {
+	debug := flag.Bool("g", false, "enable per-statement debug instrumentation (Dynamic C default)")
+	unroll := flag.Bool("unroll", false, "unroll constant-trip-count loops")
+	rootdata := flag.Bool("rootdata", false, "place arrays in root memory instead of xmem")
+	peep := flag.Bool("O", false, "enable the peephole optimizer")
+	asmOut := flag.Bool("S", false, "write the generated assembly next to the output")
+	out := flag.String("o", "", "output image path (default: input with .bin)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dccc [-g] [-unroll] [-rootdata] [-O] [-S] [-o out.bin] prog.dc")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	opt := dcc.Options{Debug: *debug, Unroll: *unroll, RootData: *rootdata, Peephole: *peep}
+	comp, err := dcc.Compile(string(src), opt)
+	if err != nil {
+		fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".dc") + ".bin"
+	}
+	if err := os.WriteFile(dst, comp.Program.Code, 0o644); err != nil {
+		fatal(err)
+	}
+	if *asmOut {
+		asmPath := strings.TrimSuffix(dst, ".bin") + ".asm"
+		if err := os.WriteFile(asmPath, []byte(comp.Asm), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("assembly listing -> %s\n", asmPath)
+	}
+	fmt.Printf("%s: code %d bytes, image %d bytes -> %s\n",
+		in, comp.CodeSize(), comp.Program.Size(), dst)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dccc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command rmcsim runs a binary image on the simulated RMC2000 board.
+// Bytes given with -serial are fed to serial port A before execution;
+// anything the program transmits on port A is printed afterward.
+//
+// Usage:
+//
+//	rmcsim [-cycles N] [-serial "text"] [-d] prog.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/netsim"
+	"repro/internal/rasm"
+	"repro/internal/rmc2000"
+)
+
+func main() {
+	budget := flag.Uint64("cycles", 100_000_000, "cycle budget")
+	serial := flag.String("serial", "", "bytes to queue on serial port A")
+	disasm := flag.Bool("d", false, "print a disassembly listing instead of running")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rmcsim [-cycles N] [-serial text] prog.bin")
+		os.Exit(2)
+	}
+	img, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		fmt.Print(rasm.Listing(img, 0))
+		return
+	}
+	board, err := rmc2000.New(nil, netsim.MAC{})
+	if err != nil {
+		fatal(err)
+	}
+	board.LoadProgram(0, img)
+	if *serial != "" {
+		board.Serial[0].HostSend([]byte(*serial)...)
+	}
+	runErr := board.Run(*budget)
+	cpu := board.CPU
+	fmt.Printf("halted=%v instructions=%d cycles=%d (%.3f ms at 30 MHz)\n",
+		cpu.Halted, cpu.Instructions, cpu.Cycles, float64(cpu.Cycles)/30000.0)
+	fmt.Printf("registers: %s\n", cpu)
+	if out := board.Serial[0].HostRecv(); len(out) > 0 {
+		fmt.Printf("serial A output: %q\n", out)
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Redirector example: the original Unix-flavor service — a secure
+// redirector terminating issl connections (full RSA key exchange) and
+// forwarding plaintext to a backend, one handler per connection like
+// the fork-based original. Several clients hit it concurrently; the
+// run ends with the service counters.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+	"repro/internal/issl"
+	"repro/internal/netsim"
+	"repro/internal/redirector"
+	"repro/internal/tcpip"
+)
+
+func main() {
+	hub := netsim.NewHub()
+	defer hub.Close()
+	newHost := func(last byte) *tcpip.Stack {
+		s, err := tcpip.NewStack(hub, tcpip.IP4(10, 1, 0, last))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	client := newHost(1)
+	defer client.Close()
+	accel := newHost(2) // the "SSL accelerator" box
+	defer accel.Close()
+	backend := newHost(3)
+	defer backend.Close()
+
+	// Backend: a plain echo server that never speaks crypto — the
+	// accelerator shields it.
+	echoL, err := backend.Listen(8000, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := echoL.Accept(10 * time.Second)
+			if err != nil {
+				return
+			}
+			go func(c *tcpip.TCB) {
+				buf := make([]byte, 2048)
+				for {
+					n, err := c.ReadDeadline(buf, time.Now().Add(10*time.Second))
+					if n > 0 {
+						c.Write(buf[:n])
+					}
+					if err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	// The accelerator's RSA identity.
+	fmt.Println("generating 512-bit RSA key for the redirector...")
+	key, err := rsa.GenerateKey(prng.NewXorshift(0xACCE1), 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := redirector.NewUnixServer(accel, redirector.Config{
+		ListenPort: 443,
+		Target:     backend.Addr(),
+		TargetPort: 8000,
+		Secure:     true,
+		ServerKey:  key,
+		RandSeed:   99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	const clients = 5
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tcb, err := client.Connect(accel.Addr(), 443, 10*time.Second)
+			if err != nil {
+				log.Printf("client %d: connect: %v", id, err)
+				return
+			}
+			conn, err := issl.BindClient(tcb, issl.Config{
+				Profile: issl.ProfileUnix,
+				Rand:    prng.NewXorshift(uint64(1000 + id)),
+			})
+			if err != nil {
+				log.Printf("client %d: handshake: %v", id, err)
+				return
+			}
+			msg := fmt.Sprintf("client %d says: encrypt me end to end", id)
+			if _, err := conn.Write([]byte(msg)); err != nil {
+				log.Printf("client %d: write: %v", id, err)
+				return
+			}
+			buf := make([]byte, 256)
+			var got []byte
+			for len(got) < len(msg) {
+				n, err := conn.Read(buf)
+				if err != nil {
+					log.Printf("client %d: read: %v", id, err)
+					return
+				}
+				got = append(got, buf[:n]...)
+			}
+			fmt.Printf("client %d round trip ok: %q\n", id, got)
+			conn.Close()
+			tcb.Close()
+		}(i)
+	}
+	wg.Wait()
+	time.Sleep(100 * time.Millisecond) // let handler teardown finish
+	st := srv.Stats()
+	fmt.Printf("\nredirector stats: %d accepted, %d refused, %d B forward, %d B backward\n",
+		st.Accepted.Load(), st.Refused.Load(), st.BytesForward.Load(), st.BytesBackward.Load())
+}

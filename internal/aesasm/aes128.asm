@@ -1,0 +1,496 @@
+; aes128.asm — hand-optimized AES-128 (Rijndael) block encryption for
+; the Rabbit 2000, in the style of the assembly implementation Rabbit
+; Semiconductor supplied, which the paper benchmarked against the
+; ported C code (§6: "the assembly implementation ran faster than the
+; C port by a factor of 15-20").
+;
+; Optimization techniques on display (and why the compiler can't match
+; them): state bytes live in registers across whole MixColumns columns;
+; the S-box and xtime tables sit on 256-byte-aligned pages so a lookup
+; is "ld l,a / ld a,(hl)" with H preloaded; SubBytes+ShiftRows fuse
+; into one unrolled pass; all loops over columns are fully unrolled.
+;
+; Memory map (root RAM, all static — there is no malloc here either):
+;   KEY     0x0E00  16 bytes   input key
+;   STATE   0x0E10  16 bytes   block, in place (column-major)
+;   TMPB    0x0E20  16 bytes   scratch block
+;   RCONV   0x0E30  1          round constant
+;   TVAR    0x0E31  1          MixColumns column xor
+;   RKPTR   0x0E32  2          current round key pointer
+;   NBLOCKS 0x0E36  2          encryptions to run (driver loop)
+;   RKEYS   0x0F00  176 bytes  expanded key
+;   SBOX    0x0C00  256        S-box (page aligned)
+;   XTIME   0x0D00  256        GF(2^8) double table (page aligned)
+
+KEY     equ 0x0E00
+STATE   equ 0x0E10
+TMPB    equ 0x0E20
+RCONV   equ 0x0E30
+TVAR    equ 0x0E31
+RKPTR   equ 0x0E32
+NBLOCKS equ 0x0E36
+RKEYS   equ 0x0F00
+SBOX    equ 0x0C00
+XTIME   equ 0x0D00
+SBOXH   equ 0x0C
+XTIMEH  equ 0x0D
+
+        org 0
+
+; driver: expand the key, then encrypt STATE in place NBLOCKS times
+; (chained, so the testbench "pumps keys through" like the paper's).
+main:
+        call expand_key
+mainlp:
+        call encrypt_block
+        ld hl, (NBLOCKS)
+        dec hl
+        ld (NBLOCKS), hl
+        ld a, h
+        or l
+        jr nz, mainlp
+        halt
+
+; ---------------------------------------------------------------- key schedule
+; RKEYS[0:16] = KEY; then 10 rounds of 4 words each.
+expand_key:
+        ld hl, KEY
+        ld de, RKEYS
+        ld bc, 16
+        ldir
+        ld a, 1
+        ld (RCONV), a
+        ld ix, RKEYS+16
+        ld b, 10
+ekround:
+        ; word 0: dest[k] = prev[k] ^ sbox[prev[12 + (k+1)%4]] (^rcon for k=0)
+        ld h, SBOXH
+        ld a, (ix-3)
+        ld l, a
+        ld a, (hl)
+        ld c, a
+        ld a, (RCONV)
+        xor c
+        ld c, a
+        ld a, (ix-16)
+        xor c
+        ld (ix+0), a
+        ld a, (ix-2)
+        ld l, a
+        ld a, (hl)
+        ld c, a
+        ld a, (ix-15)
+        xor c
+        ld (ix+1), a
+        ld a, (ix-1)
+        ld l, a
+        ld a, (hl)
+        ld c, a
+        ld a, (ix-14)
+        xor c
+        ld (ix+2), a
+        ld a, (ix-4)
+        ld l, a
+        ld a, (hl)
+        ld c, a
+        ld a, (ix-13)
+        xor c
+        ld (ix+3), a
+        ; words 1..3: dest[j] = prev[j] ^ dest[j-4], unrolled
+        ld a, (ix-12)
+        xor (ix+0)
+        ld (ix+4), a
+        ld a, (ix-11)
+        xor (ix+1)
+        ld (ix+5), a
+        ld a, (ix-10)
+        xor (ix+2)
+        ld (ix+6), a
+        ld a, (ix-9)
+        xor (ix+3)
+        ld (ix+7), a
+        ld a, (ix-8)
+        xor (ix+4)
+        ld (ix+8), a
+        ld a, (ix-7)
+        xor (ix+5)
+        ld (ix+9), a
+        ld a, (ix-6)
+        xor (ix+6)
+        ld (ix+10), a
+        ld a, (ix-5)
+        xor (ix+7)
+        ld (ix+11), a
+        ld a, (ix-4)
+        xor (ix+8)
+        ld (ix+12), a
+        ld a, (ix-3)
+        xor (ix+9)
+        ld (ix+13), a
+        ld a, (ix-2)
+        xor (ix+10)
+        ld (ix+14), a
+        ld a, (ix-1)
+        xor (ix+11)
+        ld (ix+15), a
+        ; rcon = xtime(rcon); ix += 16
+        ld h, XTIMEH
+        ld a, (RCONV)
+        ld l, a
+        ld a, (hl)
+        ld (RCONV), a
+        ld de, 16
+        add ix, de
+        dec b
+        jp nz, ekround
+        ret
+
+; ---------------------------------------------------------------- encryption
+encrypt_block:
+        ; round 0: AddRoundKey(STATE, RKEYS)
+        ld hl, STATE
+        ld de, RKEYS
+        call ark16
+        ld hl, RKEYS+16
+        ld (RKPTR), hl
+        ld b, 9
+encround:
+        push bc
+        call subshift         ; STATE -> TMPB (SubBytes + ShiftRows)
+        call mixcols          ; TMPB -> STATE (MixColumns)
+        ld hl, STATE
+        ld de, (RKPTR)
+        call ark16            ; AddRoundKey
+        ld hl, (RKPTR)
+        ld de, 16
+        add hl, de
+        ld (RKPTR), hl
+        pop bc
+        djnz encround
+        ; final round: SubBytes+ShiftRows, copy back, AddRoundKey
+        call subshift
+        ld hl, TMPB
+        ld de, STATE
+        ld bc, 16
+        ldir
+        ld hl, STATE
+        ld de, (RKPTR)
+        call ark16
+        ret
+
+; ark16: (hl)[0:16] ^= (de)[0:16]
+ark16:
+        ld b, 16
+arklp:
+        ld a, (de)
+        xor (hl)
+        ld (hl), a
+        inc hl
+        inc de
+        djnz arklp
+        ret
+
+; subshift: TMPB[i] = SBOX[STATE[shiftmap[i]]], fully unrolled.
+; Column-major state; row r rotates left by r.
+subshift:
+        ld ix, STATE
+        ld iy, TMPB
+        ld h, SBOXH
+        ld a, (ix+0)
+        ld l, a
+        ld a, (hl)
+        ld (iy+0), a
+        ld a, (ix+5)
+        ld l, a
+        ld a, (hl)
+        ld (iy+1), a
+        ld a, (ix+10)
+        ld l, a
+        ld a, (hl)
+        ld (iy+2), a
+        ld a, (ix+15)
+        ld l, a
+        ld a, (hl)
+        ld (iy+3), a
+        ld a, (ix+4)
+        ld l, a
+        ld a, (hl)
+        ld (iy+4), a
+        ld a, (ix+9)
+        ld l, a
+        ld a, (hl)
+        ld (iy+5), a
+        ld a, (ix+14)
+        ld l, a
+        ld a, (hl)
+        ld (iy+6), a
+        ld a, (ix+3)
+        ld l, a
+        ld a, (hl)
+        ld (iy+7), a
+        ld a, (ix+8)
+        ld l, a
+        ld a, (hl)
+        ld (iy+8), a
+        ld a, (ix+13)
+        ld l, a
+        ld a, (hl)
+        ld (iy+9), a
+        ld a, (ix+2)
+        ld l, a
+        ld a, (hl)
+        ld (iy+10), a
+        ld a, (ix+7)
+        ld l, a
+        ld a, (hl)
+        ld (iy+11), a
+        ld a, (ix+12)
+        ld l, a
+        ld a, (hl)
+        ld (iy+12), a
+        ld a, (ix+1)
+        ld l, a
+        ld a, (hl)
+        ld (iy+13), a
+        ld a, (ix+6)
+        ld l, a
+        ld a, (hl)
+        ld (iy+14), a
+        ld a, (ix+11)
+        ld l, a
+        ld a, (hl)
+        ld (iy+15), a
+        ret
+
+; mixcols: STATE[col] = MixColumn(TMPB[col]) for all four columns,
+; fully unrolled (the hand-optimizer's loop unrolling the paper
+; mentions). Per column: t = a0^a1^a2^a3; a_i' = a_i ^ t ^
+; xtime(a_i ^ a_{i+1}). B,C,D,E hold a0..a3; H stays on the xtime
+; page; TVAR holds t.
+mixcols:
+        ld ix, TMPB
+        ld iy, STATE
+        ld h, XTIMEH
+        ; ---- column 0
+        ld b, (ix+0)
+        ld c, (ix+1)
+        ld d, (ix+2)
+        ld e, (ix+3)
+        ld a, b
+        xor c
+        xor d
+        xor e
+        ld (TVAR), a
+        ld a, b
+        xor c
+        ld l, a
+        ld a, (hl)
+        xor b
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+0), a
+        ld a, c
+        xor d
+        ld l, a
+        ld a, (hl)
+        xor c
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+1), a
+        ld a, d
+        xor e
+        ld l, a
+        ld a, (hl)
+        xor d
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+2), a
+        ld a, e
+        xor b
+        ld l, a
+        ld a, (hl)
+        xor e
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+3), a
+        ; ---- column 1
+        ld b, (ix+4)
+        ld c, (ix+5)
+        ld d, (ix+6)
+        ld e, (ix+7)
+        ld a, b
+        xor c
+        xor d
+        xor e
+        ld (TVAR), a
+        ld a, b
+        xor c
+        ld l, a
+        ld a, (hl)
+        xor b
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+4), a
+        ld a, c
+        xor d
+        ld l, a
+        ld a, (hl)
+        xor c
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+5), a
+        ld a, d
+        xor e
+        ld l, a
+        ld a, (hl)
+        xor d
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+6), a
+        ld a, e
+        xor b
+        ld l, a
+        ld a, (hl)
+        xor e
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+7), a
+        ; ---- column 2
+        ld b, (ix+8)
+        ld c, (ix+9)
+        ld d, (ix+10)
+        ld e, (ix+11)
+        ld a, b
+        xor c
+        xor d
+        xor e
+        ld (TVAR), a
+        ld a, b
+        xor c
+        ld l, a
+        ld a, (hl)
+        xor b
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+8), a
+        ld a, c
+        xor d
+        ld l, a
+        ld a, (hl)
+        xor c
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+9), a
+        ld a, d
+        xor e
+        ld l, a
+        ld a, (hl)
+        xor d
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+10), a
+        ld a, e
+        xor b
+        ld l, a
+        ld a, (hl)
+        xor e
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+11), a
+        ; ---- column 3
+        ld b, (ix+12)
+        ld c, (ix+13)
+        ld d, (ix+14)
+        ld e, (ix+15)
+        ld a, b
+        xor c
+        xor d
+        xor e
+        ld (TVAR), a
+        ld a, b
+        xor c
+        ld l, a
+        ld a, (hl)
+        xor b
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+12), a
+        ld a, c
+        xor d
+        ld l, a
+        ld a, (hl)
+        xor c
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+13), a
+        ld a, d
+        xor e
+        ld l, a
+        ld a, (hl)
+        xor d
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+14), a
+        ld a, e
+        xor b
+        ld l, a
+        ld a, (hl)
+        xor e
+        ld l, a
+        ld a, (TVAR)
+        xor l
+        ld (iy+15), a
+        ret
+code_end:
+
+; ---------------------------------------------------------------- tables
+        org SBOX
+        db 0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76
+        db 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0
+        db 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15
+        db 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75
+        db 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84
+        db 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf
+        db 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8
+        db 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2
+        db 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73
+        db 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb
+        db 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79
+        db 0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08
+        db 0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a
+        db 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e
+        db 0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf
+        db 0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16
+        org XTIME
+
+        db 0x00, 0x02, 0x04, 0x06, 0x08, 0x0a, 0x0c, 0x0e, 0x10, 0x12, 0x14, 0x16, 0x18, 0x1a, 0x1c, 0x1e
+        db 0x20, 0x22, 0x24, 0x26, 0x28, 0x2a, 0x2c, 0x2e, 0x30, 0x32, 0x34, 0x36, 0x38, 0x3a, 0x3c, 0x3e
+        db 0x40, 0x42, 0x44, 0x46, 0x48, 0x4a, 0x4c, 0x4e, 0x50, 0x52, 0x54, 0x56, 0x58, 0x5a, 0x5c, 0x5e
+        db 0x60, 0x62, 0x64, 0x66, 0x68, 0x6a, 0x6c, 0x6e, 0x70, 0x72, 0x74, 0x76, 0x78, 0x7a, 0x7c, 0x7e
+        db 0x80, 0x82, 0x84, 0x86, 0x88, 0x8a, 0x8c, 0x8e, 0x90, 0x92, 0x94, 0x96, 0x98, 0x9a, 0x9c, 0x9e
+        db 0xa0, 0xa2, 0xa4, 0xa6, 0xa8, 0xaa, 0xac, 0xae, 0xb0, 0xb2, 0xb4, 0xb6, 0xb8, 0xba, 0xbc, 0xbe
+        db 0xc0, 0xc2, 0xc4, 0xc6, 0xc8, 0xca, 0xcc, 0xce, 0xd0, 0xd2, 0xd4, 0xd6, 0xd8, 0xda, 0xdc, 0xde
+        db 0xe0, 0xe2, 0xe4, 0xe6, 0xe8, 0xea, 0xec, 0xee, 0xf0, 0xf2, 0xf4, 0xf6, 0xf8, 0xfa, 0xfc, 0xfe
+        db 0x1b, 0x19, 0x1f, 0x1d, 0x13, 0x11, 0x17, 0x15, 0x0b, 0x09, 0x0f, 0x0d, 0x03, 0x01, 0x07, 0x05
+        db 0x3b, 0x39, 0x3f, 0x3d, 0x33, 0x31, 0x37, 0x35, 0x2b, 0x29, 0x2f, 0x2d, 0x23, 0x21, 0x27, 0x25
+        db 0x5b, 0x59, 0x5f, 0x5d, 0x53, 0x51, 0x57, 0x55, 0x4b, 0x49, 0x4f, 0x4d, 0x43, 0x41, 0x47, 0x45
+        db 0x7b, 0x79, 0x7f, 0x7d, 0x73, 0x71, 0x77, 0x75, 0x6b, 0x69, 0x6f, 0x6d, 0x63, 0x61, 0x67, 0x65
+        db 0x9b, 0x99, 0x9f, 0x9d, 0x93, 0x91, 0x97, 0x95, 0x8b, 0x89, 0x8f, 0x8d, 0x83, 0x81, 0x87, 0x85
+        db 0xbb, 0xb9, 0xbf, 0xbd, 0xb3, 0xb1, 0xb7, 0xb5, 0xab, 0xa9, 0xaf, 0xad, 0xa3, 0xa1, 0xa7, 0xa5
+        db 0xdb, 0xd9, 0xdf, 0xdd, 0xd3, 0xd1, 0xd7, 0xd5, 0xcb, 0xc9, 0xcf, 0xcd, 0xc3, 0xc1, 0xc7, 0xc5
+        db 0xfb, 0xf9, 0xff, 0xfd, 0xf3, 0xf1, 0xf7, 0xf5, 0xeb, 0xe9, 0xef, 0xed, 0xe3, 0xe1, 0xe7, 0xe5

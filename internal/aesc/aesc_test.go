@@ -1,0 +1,149 @@
+package aesc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/aesasm"
+	"repro/internal/crypto/aes"
+	"repro/internal/dcc"
+)
+
+var optionSets = []struct {
+	name string
+	opt  dcc.Options
+}{
+	{"debug", dcc.Options{Debug: true}},
+	{"nodebug", dcc.Options{}},
+	{"unroll", dcc.Options{Unroll: true}},
+	{"rootdata", dcc.Options{RootData: true}},
+	{"peephole", dcc.Options{Peephole: true}},
+	{"all", dcc.Options{Unroll: true, RootData: true, Peephole: true}},
+}
+
+func TestMatchesFIPSVectorAllOptions(t *testing.T) {
+	key := [16]byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+		0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f}
+	block := [16]byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+		0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}
+	want := []byte{0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+		0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a}
+	for _, tc := range optionSets {
+		m, err := Build(tc.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got, cycles, err := m.EncryptChain(key, block, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !bytes.Equal(got[:], want) {
+			t.Errorf("%s: got %x, want %x", tc.name, got, want)
+		}
+		t.Logf("%s: %d cycles, %d bytes code", tc.name, cycles, m.CodeSize())
+	}
+}
+
+func TestChainMatchesReference(t *testing.T) {
+	m, err := Build(dcc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key, block [16]byte
+	for i := range key {
+		key[i] = byte(i*11 + 3)
+		block[i] = byte(i*23 + 9)
+	}
+	const n = 3
+	got, _, err := m.EncryptChain(key, block, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := aes.NewAES(key[:])
+	want := block
+	for i := 0; i < n; i++ {
+		ref.Encrypt(want[:], want[:])
+	}
+	if got != want {
+		t.Errorf("chain = %x, want %x", got, want)
+	}
+}
+
+// TestE1SpeedupShape is the headline experiment check: the assembly
+// AES must beat the compiled C by more than an order of magnitude
+// (the paper reports 15–20x).
+func TestE1SpeedupShape(t *testing.T) {
+	cm, err := Build(dcc.Options{Debug: true}) // out-of-the-box build
+	if err != nil {
+		t.Fatal(err)
+	}
+	cCycles, err := cm.CyclesPerBlock(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := aesasm.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCycles, err := am.CyclesPerBlock(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factor := cCycles / aCycles
+	t.Logf("E1: C=%.0f cycles/block, asm=%.0f cycles/block, factor=%.1fx",
+		cCycles, aCycles, factor)
+	if factor < 10 {
+		t.Errorf("asm speedup %.1fx; paper reports 15-20x (want >10x)", factor)
+	}
+	if factor > 60 {
+		t.Errorf("asm speedup %.1fx is implausibly large vs the paper's 15-20x", factor)
+	}
+}
+
+// TestE2OptimizationShape: source/compiler optimizations on the C code
+// buy a modest improvement ("perhaps 20%"), nothing near the asm gap.
+func TestE2OptimizationShape(t *testing.T) {
+	cycles := func(opt dcc.Options) float64 {
+		m, err := Build(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := m.CyclesPerBlock(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	baseline := cycles(dcc.Options{Debug: true})
+	best := cycles(dcc.Options{Unroll: true, RootData: true, Peephole: true})
+	gain := 1 - best/baseline
+	t.Logf("E2: baseline=%.0f optimized=%.0f gain=%.1f%%", baseline, best, gain*100)
+	if gain <= 0.02 {
+		t.Errorf("optimizations gained only %.1f%%; expected a visible effect", gain*100)
+	}
+	if gain >= 0.60 {
+		t.Errorf("optimizations gained %.1f%%; paper says ~20%%, not order-of-magnitude", gain*100)
+	}
+}
+
+// TestE3CodeSizeShape: the assembly is somewhat smaller than the
+// compiled C (paper: 9%), and size does not track speed.
+func TestE3CodeSizeShape(t *testing.T) {
+	cm, err := Build(dcc.Options{Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := aesasm.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cSize, aSize := cm.CodeSize(), am.CodeSize()
+	t.Logf("E3: C code = %d bytes, asm code = %d bytes (asm %.1f%% smaller)",
+		cSize, aSize, 100*(1-float64(aSize)/float64(cSize)))
+	if aSize >= cSize {
+		t.Errorf("asm (%d) not smaller than C (%d)", aSize, cSize)
+	}
+	if aSize*4 < cSize {
+		t.Errorf("asm (%d) is implausibly small vs C (%d); paper says ~9%% smaller", aSize, cSize)
+	}
+}

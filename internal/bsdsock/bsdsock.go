@@ -1,0 +1,237 @@
+// Package bsdsock provides a BSD-sockets-flavored API over the tcpip
+// stack: socket/bind/listen/accept/connect/send/recv/close with
+// errno-style errors. This is the interface the original issl library
+// and its Unix redirector were written against (Fig. 2a of the paper);
+// internal/dcsock is the RMC2000 counterpart it had to be rewritten to
+// (Fig. 2b). Keeping both alive over one transport lets the test suite
+// show the two servers behave identically (experiment E6) while the
+// code that drives them looks nothing alike.
+package bsdsock
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/tcpip"
+)
+
+// Errno-style errors, named after their BSD counterparts.
+var (
+	ErrBadSocket    = errors.New("bsdsock: EBADF: operation on bad socket")
+	ErrAddrInUse    = errors.New("bsdsock: EADDRINUSE: address already in use")
+	ErrIsConnected  = errors.New("bsdsock: EISCONN: socket is already connected")
+	ErrNotConnected = errors.New("bsdsock: ENOTCONN: socket is not connected")
+	ErrInvalid      = errors.New("bsdsock: EINVAL: invalid argument")
+	ErrConnRefused  = errors.New("bsdsock: ECONNREFUSED: connection refused")
+	ErrTimedOut     = errors.New("bsdsock: ETIMEDOUT: operation timed out")
+	ErrConnReset    = errors.New("bsdsock: ECONNRESET: connection reset by peer")
+)
+
+// LISTENQ is the traditional default accept backlog.
+const LISTENQ = 8
+
+// API binds the sockets layer to one host's stack.
+type API struct {
+	stack *tcpip.Stack
+	// Default timeout applied to blocking calls so a lost peer cannot
+	// hang a test forever. Unix would block indefinitely; keep large.
+	Timeout time.Duration
+}
+
+// New creates a sockets API over a stack.
+func New(stack *tcpip.Stack) *API {
+	return &API{stack: stack, Timeout: 30 * time.Second}
+}
+
+// Stack exposes the underlying stack (for address lookups).
+func (a *API) Stack() *tcpip.Stack { return a.stack }
+
+type sockState int
+
+const (
+	stateFresh sockState = iota
+	stateBound
+	stateListening
+	stateConnected
+	stateClosed
+)
+
+// Socket is a stream socket. Like a file descriptor, one Socket may
+// pass through bind → listen → accept, or connect, then send/recv.
+type Socket struct {
+	api   *API
+	mu    sync.Mutex
+	state sockState
+	port  uint16
+	lst   *tcpip.Listener
+	conn  *tcpip.TCB
+}
+
+// Socket creates an unbound stream socket (socket(AF_INET, SOCK_STREAM, 0)).
+func (a *API) Socket() *Socket { return &Socket{api: a} }
+
+// Bind assigns a local port.
+func (s *Socket) Bind(port uint16) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateFresh {
+		return ErrInvalid
+	}
+	s.port = port
+	s.state = stateBound
+	return nil
+}
+
+// Listen moves a bound socket to the listening state.
+func (s *Socket) Listen(backlog int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateBound {
+		return ErrInvalid
+	}
+	l, err := s.api.stack.Listen(s.port, backlog)
+	if err != nil {
+		if errors.Is(err, tcpip.ErrPortInUse) {
+			return fmt.Errorf("%w (port %d)", ErrAddrInUse, s.port)
+		}
+		return err
+	}
+	s.lst = l
+	s.state = stateListening
+	return nil
+}
+
+// Accept blocks for the next incoming connection and returns a new
+// connected socket, like accept(2) returning a fresh descriptor.
+func (s *Socket) Accept() (*Socket, error) {
+	s.mu.Lock()
+	if s.state != stateListening {
+		s.mu.Unlock()
+		return nil, ErrInvalid
+	}
+	l := s.lst
+	timeout := s.api.Timeout
+	s.mu.Unlock()
+	conn, err := l.Accept(timeout)
+	if err != nil {
+		if errors.Is(err, tcpip.ErrTimeout) {
+			return nil, ErrTimedOut
+		}
+		return nil, err
+	}
+	return &Socket{api: s.api, state: stateConnected, conn: conn}, nil
+}
+
+// Connect performs an active open to addr:port.
+func (s *Socket) Connect(addr tcpip.Addr, port uint16) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case stateFresh, stateBound:
+	case stateConnected:
+		return ErrIsConnected
+	default:
+		return ErrInvalid
+	}
+	conn, err := s.api.stack.Connect(addr, port, s.api.Timeout)
+	if err != nil {
+		if errors.Is(err, tcpip.ErrConnRefused) {
+			return ErrConnRefused
+		}
+		if errors.Is(err, tcpip.ErrTimeout) {
+			return ErrTimedOut
+		}
+		return err
+	}
+	s.conn = conn
+	s.state = stateConnected
+	return nil
+}
+
+// Send queues data, blocking until accepted by the transmit buffer.
+// Returns the byte count like send(2).
+func (s *Socket) Send(data []byte) (int, error) {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn == nil {
+		return 0, ErrNotConnected
+	}
+	n, err := conn.Write(data)
+	return n, mapConnErr(err)
+}
+
+// Recv fills buf with available data, blocking for at least one byte.
+// A return of (0, nil) signals orderly shutdown by the peer, exactly
+// like recv(2).
+func (s *Socket) Recv(buf []byte) (int, error) {
+	s.mu.Lock()
+	conn := s.conn
+	timeout := s.api.Timeout
+	s.mu.Unlock()
+	if conn == nil {
+		return 0, ErrNotConnected
+	}
+	n, err := conn.ReadDeadline(buf, time.Now().Add(timeout))
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil // BSD convention: recv returns 0 at EOF
+		}
+		return n, mapConnErr(err)
+	}
+	return n, nil
+}
+
+// Close releases the socket. On a connected socket this performs the
+// orderly FIN handshake.
+func (s *Socket) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case stateListening:
+		s.lst.Close()
+	case stateConnected:
+		s.conn.Close()
+	}
+	s.state = stateClosed
+	return nil
+}
+
+// LocalPort returns the bound or ephemeral local port.
+func (s *Socket) LocalPort() uint16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		return s.conn.LocalPort()
+	}
+	return s.port
+}
+
+// RemoteAddr returns the peer's address for a connected socket.
+func (s *Socket) RemoteAddr() (tcpip.Addr, uint16, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return tcpip.Addr{}, 0, ErrNotConnected
+	}
+	ip, port := s.conn.RemoteAddr()
+	return ip, port, nil
+}
+
+func mapConnErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, tcpip.ErrConnReset):
+		return ErrConnReset
+	case errors.Is(err, tcpip.ErrTimeout):
+		return ErrTimedOut
+	case errors.Is(err, tcpip.ErrConnClosed):
+		return ErrBadSocket
+	default:
+		return err
+	}
+}

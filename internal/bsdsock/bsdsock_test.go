@@ -1,0 +1,261 @@
+package bsdsock
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/tcpip"
+)
+
+func twoHosts(t *testing.T) (*API, *API) {
+	t.Helper()
+	hub := netsim.NewHub()
+	t.Cleanup(hub.Close)
+	s1, err := tcpip.NewStack(hub, tcpip.IP4(10, 0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s1.Close)
+	s2, err := tcpip.NewStack(hub, tcpip.IP4(10, 0, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s2.Close)
+	a, b := New(s1), New(s2)
+	a.Timeout, b.Timeout = 5*time.Second, 5*time.Second
+	return a, b
+}
+
+// echoServer runs the exact call sequence of the paper's Fig. 2a:
+// socket, bind, listen, accept, recv, send, close.
+func echoServer(api *API, port uint16, ready chan<- struct{}) error {
+	sock := api.Socket()
+	if err := sock.Bind(port); err != nil {
+		return err
+	}
+	if err := sock.Listen(LISTENQ); err != nil {
+		return err
+	}
+	close(ready)
+	newsock, err := sock.Accept()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 512)
+	n, err := newsock.Recv(buf)
+	if err != nil {
+		return err
+	}
+	if _, err := newsock.Send(buf[:n]); err != nil {
+		return err
+	}
+	newsock.Close()
+	sock.Close()
+	return nil
+}
+
+func TestFig2aEchoServer(t *testing.T) {
+	cliAPI, srvAPI := twoHosts(t)
+	ready := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() { errCh <- echoServer(srvAPI, 7777, ready) }()
+	<-ready
+	c := cliAPI.Socket()
+	if err := c.Connect(srvAPI.Stack().Addr(), 7777); err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	if _, err := c.Send([]byte("hello fig2a")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := c.Recv(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "hello fig2a" {
+		t.Errorf("echo = %q", buf[:n])
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+func TestRecvReturnsZeroAtEOF(t *testing.T) {
+	cliAPI, srvAPI := twoHosts(t)
+	srv := srvAPI.Socket()
+	srv.Bind(9)
+	srv.Listen(1)
+	go func() {
+		conn, err := srv.Accept()
+		if err == nil {
+			conn.Close() // immediate FIN
+		}
+	}()
+	c := cliAPI.Socket()
+	if err := c.Connect(srvAPI.Stack().Addr(), 9); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := c.Recv(buf)
+	if n != 0 || err != nil {
+		t.Errorf("Recv at EOF = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestStateMachineErrors(t *testing.T) {
+	api, _ := twoHosts(t)
+	s := api.Socket()
+	if err := s.Listen(1); err != ErrInvalid {
+		t.Errorf("Listen unbound = %v, want EINVAL", err)
+	}
+	if _, err := s.Accept(); err != ErrInvalid {
+		t.Errorf("Accept unbound = %v, want EINVAL", err)
+	}
+	if _, err := s.Send([]byte("x")); err != ErrNotConnected {
+		t.Errorf("Send unconnected = %v, want ENOTCONN", err)
+	}
+	if _, err := s.Recv(make([]byte, 1)); err != ErrNotConnected {
+		t.Errorf("Recv unconnected = %v, want ENOTCONN", err)
+	}
+	if err := s.Bind(80); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind(81); err != ErrInvalid {
+		t.Errorf("double Bind = %v, want EINVAL", err)
+	}
+}
+
+func TestAddrInUse(t *testing.T) {
+	api, _ := twoHosts(t)
+	s1 := api.Socket()
+	s1.Bind(80)
+	if err := s1.Listen(1); err != nil {
+		t.Fatal(err)
+	}
+	s2 := api.Socket()
+	s2.Bind(80)
+	if err := s2.Listen(1); err == nil {
+		t.Error("second listener on same port accepted")
+	}
+}
+
+func TestConnectionRefusedMapped(t *testing.T) {
+	cliAPI, srvAPI := twoHosts(t)
+	c := cliAPI.Socket()
+	err := c.Connect(srvAPI.Stack().Addr(), 4444)
+	if err != ErrConnRefused {
+		t.Errorf("connect to closed port = %v, want ECONNREFUSED", err)
+	}
+}
+
+func TestLargeTransferThroughSockets(t *testing.T) {
+	cliAPI, srvAPI := twoHosts(t)
+	want := make([]byte, 64*1024)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	srv := srvAPI.Socket()
+	srv.Bind(5000)
+	srv.Listen(1)
+	go func() {
+		conn, err := srv.Accept()
+		if err != nil {
+			return
+		}
+		conn.Send(want)
+		conn.Close()
+	}()
+	c := cliAPI.Socket()
+	if err := c.Connect(srvAPI.Stack().Addr(), 5000); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	buf := make([]byte, 4096)
+	for {
+		n, err := c.Recv(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		got.Write(buf[:n])
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("got %d bytes, want %d", got.Len(), len(want))
+	}
+}
+
+func TestRemoteAddr(t *testing.T) {
+	cliAPI, srvAPI := twoHosts(t)
+	srv := srvAPI.Socket()
+	srv.Bind(6000)
+	srv.Listen(1)
+	acceptedCh := make(chan *Socket, 1)
+	go func() {
+		conn, _ := srv.Accept()
+		acceptedCh <- conn
+	}()
+	c := cliAPI.Socket()
+	if err := c.Connect(srvAPI.Stack().Addr(), 6000); err != nil {
+		t.Fatal(err)
+	}
+	ip, port, err := c.RemoteAddr()
+	if err != nil || ip != srvAPI.Stack().Addr() || port != 6000 {
+		t.Errorf("client RemoteAddr = %v:%d, %v", ip, port, err)
+	}
+	accepted := <-acceptedCh
+	if accepted == nil {
+		t.Fatal("accept failed")
+	}
+	ip, _, err = accepted.RemoteAddr()
+	if err != nil || ip != cliAPI.Stack().Addr() {
+		t.Errorf("server RemoteAddr = %v, %v", ip, err)
+	}
+}
+
+func TestConnectTwiceIsEISCONN(t *testing.T) {
+	cliAPI, srvAPI := twoHosts(t)
+	srv := srvAPI.Socket()
+	srv.Bind(7100)
+	srv.Listen(2)
+	go func() {
+		for {
+			if _, err := srv.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	c := cliAPI.Socket()
+	if err := c.Connect(srvAPI.Stack().Addr(), 7100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect(srvAPI.Stack().Addr(), 7100); err != ErrIsConnected {
+		t.Errorf("second connect = %v, want EISCONN", err)
+	}
+}
+
+func TestOperationsOnClosedSocket(t *testing.T) {
+	api, _ := twoHosts(t)
+	s := api.Socket()
+	s.Close()
+	if err := s.Bind(80); err != ErrInvalid {
+		t.Errorf("bind on closed = %v", err)
+	}
+	if err := s.Connect(tcpip.IP4(10, 0, 0, 2), 80); err != ErrInvalid {
+		t.Errorf("connect on closed = %v", err)
+	}
+}
+
+func TestDoubleCloseHarmless(t *testing.T) {
+	api, _ := twoHosts(t)
+	s := api.Socket()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second close = %v", err)
+	}
+}

@@ -1,0 +1,299 @@
+// Package aes implements the Rijndael block cipher from scratch, in the
+// configuration space the issl library exposed: key lengths of 128, 192
+// or 256 bits AND block lengths of 128, 192 or 256 bits. (FIPS-197 AES
+// is the Nb=4 subset.) The RMC2000 port described in the paper dropped
+// everything but 128-bit keys and blocks; NewPorted constructs exactly
+// that reduced profile.
+//
+// The implementation is deliberately a straightforward byte-oriented
+// transliteration of the Rijndael specification — the same style as the
+// portable C code the paper ported — rather than a T-table design. The
+// hand-written Rabbit assembly counterpart lives in asm/aes128.asm and
+// is exercised on the CPU simulator by the E1 benchmark.
+package aes
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Block/key sizes in bytes accepted by New.
+const (
+	Size128 = 16
+	Size192 = 24
+	Size256 = 32
+)
+
+// Cipher is a Rijndael instance with a fixed key schedule.
+// It is safe for concurrent use once created.
+type Cipher struct {
+	nb     int      // block size in 32-bit words (4, 6 or 8)
+	nk     int      // key size in 32-bit words (4, 6 or 8)
+	nr     int      // number of rounds
+	rk     []uint32 // expanded key, (nr+1)*nb words
+	shifts [4]int   // ShiftRows offsets per row
+}
+
+var (
+	// ErrKeySize is returned for key lengths other than 16/24/32 bytes.
+	ErrKeySize = errors.New("aes: invalid key size")
+	// ErrBlockSize is returned for block lengths other than 16/24/32 bytes.
+	ErrBlockSize = errors.New("aes: invalid block size")
+)
+
+// sbox and inverse sbox are generated at init from the GF(2^8)
+// multiplicative inverse and the Rijndael affine transform, so they are
+// correct by construction rather than by transcription.
+var (
+	sbox  [256]byte
+	isbox [256]byte
+)
+
+func init() {
+	// Build log/antilog tables over GF(2^8) with generator 3.
+	var exp [256]byte
+	var log [256]byte
+	x := byte(1)
+	for i := 0; i < 256; i++ {
+		exp[i] = x
+		log[x] = byte(i)
+		// multiply x by 3 = x + x*2 in GF(2^8)
+		x ^= xtime(x)
+	}
+	inv := func(b byte) byte {
+		if b == 0 {
+			return 0
+		}
+		return exp[(255-int(log[b]))%255]
+	}
+	for i := 0; i < 256; i++ {
+		v := inv(byte(i))
+		// affine transform: b ^ rot1(b) ^ rot2(b) ^ rot3(b) ^ rot4(b) ^ 0x63
+		s := v ^ rotl8(v, 1) ^ rotl8(v, 2) ^ rotl8(v, 3) ^ rotl8(v, 4) ^ 0x63
+		sbox[i] = s
+		isbox[s] = byte(i)
+	}
+}
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+// xtime multiplies by x (i.e. 2) in GF(2^8) modulo x^8+x^4+x^3+x+1.
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1b
+	}
+	return b << 1
+}
+
+// gmul multiplies two field elements.
+func gmul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+// New creates a Rijndael cipher with the given key and block size in
+// bytes. blockSize must be 16, 24 or 32; len(key) must be 16, 24 or 32.
+func New(key []byte, blockSize int) (*Cipher, error) {
+	nk, ok := words(len(key))
+	if !ok {
+		return nil, fmt.Errorf("%w: %d bytes", ErrKeySize, len(key))
+	}
+	nb, ok := words(blockSize)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBlockSize, blockSize)
+	}
+	c := &Cipher{nb: nb, nk: nk}
+	c.nr = max(nb, nk) + 6
+	// ShiftRows offsets depend on block size (Rijndael spec, table 2).
+	switch nb {
+	case 8:
+		c.shifts = [4]int{0, 1, 3, 4}
+	default:
+		c.shifts = [4]int{0, 1, 2, 3}
+	}
+	c.expandKey(key)
+	return c, nil
+}
+
+// NewAES creates a FIPS-197 AES cipher (16-byte block) with a 16-, 24-
+// or 32-byte key.
+func NewAES(key []byte) (*Cipher, error) { return New(key, Size128) }
+
+// NewPorted creates the cipher in the only configuration the RMC2000
+// port retained: 128-bit key, 128-bit block. It panics on a wrong key
+// length, mirroring the port's statically-sized buffers.
+func NewPorted(key []byte) *Cipher {
+	if len(key) != Size128 {
+		panic("aes: ported profile requires a 16-byte key")
+	}
+	c, _ := New(key, Size128)
+	return c
+}
+
+func words(n int) (int, bool) {
+	switch n {
+	case Size128:
+		return 4, true
+	case Size192:
+		return 6, true
+	case Size256:
+		return 8, true
+	}
+	return 0, false
+}
+
+// BlockSize returns the cipher's block size in bytes.
+func (c *Cipher) BlockSize() int { return c.nb * 4 }
+
+// KeySize returns the cipher's key size in bytes.
+func (c *Cipher) KeySize() int { return c.nk * 4 }
+
+// Rounds returns the number of rounds (10–14 depending on sizes).
+func (c *Cipher) Rounds() int { return c.nr }
+
+func (c *Cipher) expandKey(key []byte) {
+	total := (c.nr + 1) * c.nb
+	c.rk = make([]uint32, total)
+	for i := 0; i < c.nk; i++ {
+		c.rk[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 |
+			uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	rcon := uint32(1)
+	for i := c.nk; i < total; i++ {
+		t := c.rk[i-1]
+		switch {
+		case i%c.nk == 0:
+			t = subWord(rotWord(t)) ^ rcon<<24
+			rcon = uint32(xtime(byte(rcon)))
+		case c.nk > 6 && i%c.nk == 4:
+			t = subWord(t)
+		}
+		c.rk[i] = c.rk[i-c.nk] ^ t
+	}
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 |
+		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+// Encrypt encrypts exactly one block from src into dst.
+// dst and src may overlap. It panics if either is shorter than BlockSize.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	bs := c.BlockSize()
+	if len(src) < bs || len(dst) < bs {
+		panic("aes: input not full block")
+	}
+	var st [32]byte // column-major state, 4 rows x nb cols
+	copy(st[:], src[:bs])
+	c.addRoundKey(&st, 0)
+	for round := 1; round < c.nr; round++ {
+		c.subBytes(&st)
+		c.shiftRows(&st)
+		c.mixColumns(&st)
+		c.addRoundKey(&st, round)
+	}
+	c.subBytes(&st)
+	c.shiftRows(&st)
+	c.addRoundKey(&st, c.nr)
+	copy(dst[:bs], st[:bs])
+}
+
+// Decrypt decrypts exactly one block from src into dst.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	bs := c.BlockSize()
+	if len(src) < bs || len(dst) < bs {
+		panic("aes: input not full block")
+	}
+	var st [32]byte
+	copy(st[:], src[:bs])
+	c.addRoundKey(&st, c.nr)
+	c.invShiftRows(&st)
+	c.invSubBytes(&st)
+	for round := c.nr - 1; round > 0; round-- {
+		c.addRoundKey(&st, round)
+		c.invMixColumns(&st)
+		c.invShiftRows(&st)
+		c.invSubBytes(&st)
+	}
+	c.addRoundKey(&st, 0)
+	copy(dst[:bs], st[:bs])
+}
+
+func (c *Cipher) addRoundKey(st *[32]byte, round int) {
+	base := round * c.nb
+	for col := 0; col < c.nb; col++ {
+		w := c.rk[base+col]
+		st[4*col] ^= byte(w >> 24)
+		st[4*col+1] ^= byte(w >> 16)
+		st[4*col+2] ^= byte(w >> 8)
+		st[4*col+3] ^= byte(w)
+	}
+}
+
+func (c *Cipher) subBytes(st *[32]byte) {
+	for i := 0; i < c.nb*4; i++ {
+		st[i] = sbox[st[i]]
+	}
+}
+
+func (c *Cipher) invSubBytes(st *[32]byte) {
+	for i := 0; i < c.nb*4; i++ {
+		st[i] = isbox[st[i]]
+	}
+}
+
+func (c *Cipher) shiftRows(st *[32]byte) {
+	var tmp [8]byte
+	for row := 1; row < 4; row++ {
+		s := c.shifts[row]
+		for col := 0; col < c.nb; col++ {
+			tmp[col] = st[4*((col+s)%c.nb)+row]
+		}
+		for col := 0; col < c.nb; col++ {
+			st[4*col+row] = tmp[col]
+		}
+	}
+}
+
+func (c *Cipher) invShiftRows(st *[32]byte) {
+	var tmp [8]byte
+	for row := 1; row < 4; row++ {
+		s := c.shifts[row]
+		for col := 0; col < c.nb; col++ {
+			tmp[(col+s)%c.nb] = st[4*col+row]
+		}
+		for col := 0; col < c.nb; col++ {
+			st[4*col+row] = tmp[col]
+		}
+	}
+}
+
+func (c *Cipher) mixColumns(st *[32]byte) {
+	for col := 0; col < c.nb; col++ {
+		a0, a1, a2, a3 := st[4*col], st[4*col+1], st[4*col+2], st[4*col+3]
+		st[4*col] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3
+		st[4*col+1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3
+		st[4*col+2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3)
+		st[4*col+3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2)
+	}
+}
+
+func (c *Cipher) invMixColumns(st *[32]byte) {
+	for col := 0; col < c.nb; col++ {
+		a0, a1, a2, a3 := st[4*col], st[4*col+1], st[4*col+2], st[4*col+3]
+		st[4*col] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9)
+		st[4*col+1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13)
+		st[4*col+2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11)
+		st[4*col+3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14)
+	}
+}

@@ -1,0 +1,116 @@
+package aes
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file provides the block-cipher modes the issl record layer uses:
+// CBC for records, CTR for key-stream needs, and PKCS#7-style padding.
+
+// ErrPadding is returned when CBC padding fails to verify on decryption.
+var ErrPadding = errors.New("aes: bad padding")
+
+// Pad appends PKCS#7-style padding up to the cipher's block size.
+// It always appends at least one byte.
+func (c *Cipher) Pad(data []byte) []byte {
+	bs := c.BlockSize()
+	n := bs - len(data)%bs
+	out := make([]byte, len(data)+n)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = byte(n)
+	}
+	return out
+}
+
+// Unpad removes PKCS#7-style padding, verifying every pad byte.
+func (c *Cipher) Unpad(data []byte) ([]byte, error) {
+	bs := c.BlockSize()
+	if len(data) == 0 || len(data)%bs != 0 {
+		return nil, ErrPadding
+	}
+	n := int(data[len(data)-1])
+	if n == 0 || n > bs || n > len(data) {
+		return nil, ErrPadding
+	}
+	for _, b := range data[len(data)-n:] {
+		if int(b) != n {
+			return nil, ErrPadding
+		}
+	}
+	return data[:len(data)-n], nil
+}
+
+// EncryptCBC encrypts plaintext (already padded to a whole number of
+// blocks) under the given IV. The IV must be one block long.
+func (c *Cipher) EncryptCBC(iv, plaintext []byte) ([]byte, error) {
+	bs := c.BlockSize()
+	if len(iv) != bs {
+		return nil, fmt.Errorf("aes: IV must be %d bytes, got %d", bs, len(iv))
+	}
+	if len(plaintext)%bs != 0 {
+		return nil, fmt.Errorf("aes: CBC plaintext length %d not a multiple of %d", len(plaintext), bs)
+	}
+	out := make([]byte, len(plaintext))
+	prev := iv
+	for off := 0; off < len(plaintext); off += bs {
+		blk := make([]byte, bs)
+		for i := 0; i < bs; i++ {
+			blk[i] = plaintext[off+i] ^ prev[i]
+		}
+		c.Encrypt(out[off:off+bs], blk)
+		prev = out[off : off+bs]
+	}
+	return out, nil
+}
+
+// DecryptCBC reverses EncryptCBC.
+func (c *Cipher) DecryptCBC(iv, ciphertext []byte) ([]byte, error) {
+	bs := c.BlockSize()
+	if len(iv) != bs {
+		return nil, fmt.Errorf("aes: IV must be %d bytes, got %d", bs, len(iv))
+	}
+	if len(ciphertext)%bs != 0 {
+		return nil, fmt.Errorf("aes: CBC ciphertext length %d not a multiple of %d", len(ciphertext), bs)
+	}
+	out := make([]byte, len(ciphertext))
+	prev := iv
+	blk := make([]byte, bs)
+	for off := 0; off < len(ciphertext); off += bs {
+		c.Decrypt(blk, ciphertext[off:off+bs])
+		for i := 0; i < bs; i++ {
+			out[off+i] = blk[i] ^ prev[i]
+		}
+		prev = ciphertext[off : off+bs]
+	}
+	return out, nil
+}
+
+// CTR returns a keystream XOR of data under a counter starting at the
+// given nonce block. Encryption and decryption are the same operation.
+func (c *Cipher) CTR(nonce, data []byte) ([]byte, error) {
+	bs := c.BlockSize()
+	if len(nonce) != bs {
+		return nil, fmt.Errorf("aes: nonce must be %d bytes, got %d", bs, len(nonce))
+	}
+	ctr := make([]byte, bs)
+	copy(ctr, nonce)
+	ks := make([]byte, bs)
+	out := make([]byte, len(data))
+	for off := 0; off < len(data); off += bs {
+		c.Encrypt(ks, ctr)
+		n := min(bs, len(data)-off)
+		for i := 0; i < n; i++ {
+			out[off+i] = data[off+i] ^ ks[i]
+		}
+		// big-endian increment
+		for i := bs - 1; i >= 0; i-- {
+			ctr[i]++
+			if ctr[i] != 0 {
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,457 @@
+// Package bignum is an arbitrary-precision unsigned integer package
+// implemented from scratch (math/big is deliberately not used). It
+// stands in for the "difficult-to-port bignum package" that the RSA
+// cipher in issl depended on — the dependency that made the RMC2000
+// port drop RSA entirely. The Unix-profile issl here keeps RSA, so the
+// library needs a real bignum.
+//
+// Representation: little-endian []uint32 limbs with no trailing zero
+// limbs (zero is the empty slice). All values are non-negative; RSA
+// needs no signed arithmetic.
+package bignum
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Int is an arbitrary-precision unsigned integer. The zero value is 0
+// and ready to use. Ints are immutable from the caller's perspective:
+// all methods return fresh values and never alias their operands'
+// storage in results.
+type Int struct {
+	limbs []uint32 // little-endian, normalized (no trailing zeros)
+}
+
+// ErrDivByZero is returned by Div/Mod family operations for a zero divisor.
+var ErrDivByZero = errors.New("bignum: division by zero")
+
+// Zero and One are convenience constructors.
+func Zero() Int { return Int{} }
+
+// One returns the integer 1.
+func One() Int { return FromUint64(1) }
+
+// FromUint64 builds an Int from a uint64.
+func FromUint64(v uint64) Int {
+	if v == 0 {
+		return Int{}
+	}
+	if v <= 0xffffffff {
+		return Int{limbs: []uint32{uint32(v)}}
+	}
+	return Int{limbs: []uint32{uint32(v), uint32(v >> 32)}}
+}
+
+// FromBytes builds an Int from big-endian bytes.
+func FromBytes(b []byte) Int {
+	n := (len(b) + 3) / 4
+	limbs := make([]uint32, n)
+	for i, by := range b {
+		shift := uint((len(b) - 1 - i) % 4 * 8)
+		limbs[(len(b)-1-i)/4] |= uint32(by) << shift
+	}
+	return Int{limbs: norm(limbs)}
+}
+
+// FromDecimal parses a base-10 string.
+func FromDecimal(s string) (Int, error) {
+	if s == "" {
+		return Int{}, errors.New("bignum: empty decimal string")
+	}
+	x := Zero()
+	ten := FromUint64(10)
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return Int{}, fmt.Errorf("bignum: bad digit %q", r)
+		}
+		x = x.Mul(ten).Add(FromUint64(uint64(r - '0')))
+	}
+	return x, nil
+}
+
+// MustDecimal is FromDecimal that panics on error; for tests and constants.
+func MustDecimal(s string) Int {
+	x, err := FromDecimal(s)
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+func norm(l []uint32) []uint32 {
+	for len(l) > 0 && l[len(l)-1] == 0 {
+		l = l[:len(l)-1]
+	}
+	return l
+}
+
+// IsZero reports whether x == 0.
+func (x Int) IsZero() bool { return len(x.limbs) == 0 }
+
+// IsOdd reports whether the low bit is set.
+func (x Int) IsOdd() bool { return len(x.limbs) > 0 && x.limbs[0]&1 == 1 }
+
+// Uint64 returns the low 64 bits of x.
+func (x Int) Uint64() uint64 {
+	var v uint64
+	if len(x.limbs) > 0 {
+		v = uint64(x.limbs[0])
+	}
+	if len(x.limbs) > 1 {
+		v |= uint64(x.limbs[1]) << 32
+	}
+	return v
+}
+
+// BitLen returns the number of bits in x (0 for x == 0).
+func (x Int) BitLen() int {
+	if len(x.limbs) == 0 {
+		return 0
+	}
+	top := x.limbs[len(x.limbs)-1]
+	n := (len(x.limbs) - 1) * 32
+	for top != 0 {
+		n++
+		top >>= 1
+	}
+	return n
+}
+
+// Bit returns bit i of x (0 or 1).
+func (x Int) Bit(i int) uint {
+	limb := i / 32
+	if limb >= len(x.limbs) {
+		return 0
+	}
+	return uint(x.limbs[limb] >> (i % 32) & 1)
+}
+
+// Bytes returns x as big-endian bytes with no leading zeros
+// (empty slice for zero).
+func (x Int) Bytes() []byte {
+	if x.IsZero() {
+		return nil
+	}
+	n := (x.BitLen() + 7) / 8
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		limb := i / 4
+		shift := uint(i % 4 * 8)
+		out[n-1-i] = byte(x.limbs[limb] >> shift)
+	}
+	return out
+}
+
+// FillBytes writes x as big-endian into buf, left-padded with zeros.
+// It panics if x does not fit.
+func (x Int) FillBytes(buf []byte) []byte {
+	b := x.Bytes()
+	if len(b) > len(buf) {
+		panic("bignum: FillBytes buffer too small")
+	}
+	for i := range buf[:len(buf)-len(b)] {
+		buf[i] = 0
+	}
+	copy(buf[len(buf)-len(b):], b)
+	return buf
+}
+
+// Cmp returns -1, 0 or +1 as x < y, x == y, x > y.
+func (x Int) Cmp(y Int) int {
+	if len(x.limbs) != len(y.limbs) {
+		if len(x.limbs) < len(y.limbs) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(x.limbs) - 1; i >= 0; i-- {
+		if x.limbs[i] != y.limbs[i] {
+			if x.limbs[i] < y.limbs[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Add returns x + y.
+func (x Int) Add(y Int) Int {
+	a, b := x.limbs, y.limbs
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	out := make([]uint32, len(a)+1)
+	var carry uint64
+	for i := range a {
+		s := uint64(a[i]) + carry
+		if i < len(b) {
+			s += uint64(b[i])
+		}
+		out[i] = uint32(s)
+		carry = s >> 32
+	}
+	out[len(a)] = uint32(carry)
+	return Int{limbs: norm(out)}
+}
+
+// Sub returns x - y; it panics if y > x (values are unsigned).
+func (x Int) Sub(y Int) Int {
+	if x.Cmp(y) < 0 {
+		panic("bignum: negative result in Sub")
+	}
+	out := make([]uint32, len(x.limbs))
+	var borrow uint64
+	for i := range x.limbs {
+		d := uint64(x.limbs[i]) - borrow
+		if i < len(y.limbs) {
+			d -= uint64(y.limbs[i])
+		}
+		out[i] = uint32(d)
+		borrow = d >> 63 // 1 if underflowed
+	}
+	return Int{limbs: norm(out)}
+}
+
+// Mul returns x * y (schoolbook; fine at RSA sizes).
+func (x Int) Mul(y Int) Int {
+	if x.IsZero() || y.IsZero() {
+		return Int{}
+	}
+	out := make([]uint32, len(x.limbs)+len(y.limbs))
+	for i, xi := range x.limbs {
+		var carry uint64
+		for j, yj := range y.limbs {
+			t := uint64(xi)*uint64(yj) + uint64(out[i+j]) + carry
+			out[i+j] = uint32(t)
+			carry = t >> 32
+		}
+		out[i+len(y.limbs)] = uint32(carry)
+	}
+	return Int{limbs: norm(out)}
+}
+
+// Shl returns x << n.
+func (x Int) Shl(n int) Int {
+	if x.IsZero() || n == 0 {
+		return Int{limbs: append([]uint32(nil), x.limbs...)}
+	}
+	limbShift, bitShift := n/32, uint(n%32)
+	out := make([]uint32, len(x.limbs)+limbShift+1)
+	for i, l := range x.limbs {
+		out[i+limbShift] |= l << bitShift
+		if bitShift > 0 {
+			out[i+limbShift+1] |= l >> (32 - bitShift)
+		}
+	}
+	return Int{limbs: norm(out)}
+}
+
+// Shr returns x >> n.
+func (x Int) Shr(n int) Int {
+	limbShift, bitShift := n/32, uint(n%32)
+	if limbShift >= len(x.limbs) {
+		return Int{}
+	}
+	out := make([]uint32, len(x.limbs)-limbShift)
+	for i := range out {
+		out[i] = x.limbs[i+limbShift] >> bitShift
+		if bitShift > 0 && i+limbShift+1 < len(x.limbs) {
+			out[i] |= x.limbs[i+limbShift+1] << (32 - bitShift)
+		}
+	}
+	return Int{limbs: norm(out)}
+}
+
+// DivMod returns (x/y, x%y) using limb-based long division (Knuth's
+// Algorithm D), fast enough for RSA key generation in tests.
+func (x Int) DivMod(y Int) (q, r Int, err error) {
+	if y.IsZero() {
+		return Int{}, Int{}, ErrDivByZero
+	}
+	if x.Cmp(y) < 0 {
+		return Int{}, Int{limbs: append([]uint32(nil), x.limbs...)}, nil
+	}
+	if len(y.limbs) == 1 {
+		d := uint64(y.limbs[0])
+		out := make([]uint32, len(x.limbs))
+		var rem uint64
+		for i := len(x.limbs) - 1; i >= 0; i-- {
+			cur := rem<<32 | uint64(x.limbs[i])
+			out[i] = uint32(cur / d)
+			rem = cur % d
+		}
+		return Int{limbs: norm(out)}, FromUint64(rem), nil
+	}
+	// Normalize so the divisor's top limb has its high bit set.
+	shift := 0
+	for top := y.limbs[len(y.limbs)-1]; top&0x80000000 == 0; top <<= 1 {
+		shift++
+	}
+	v := y.Shl(shift).limbs
+	un := x.Shl(shift).limbs
+	n := len(v)
+	// u needs m+n+1 limbs.
+	u := make([]uint32, len(un)+1)
+	copy(u, un)
+	m := len(u) - n - 1
+	qLimbs := make([]uint32, m+1)
+	for j := m; j >= 0; j-- {
+		// Estimate qhat from the top two limbs of the current remainder.
+		num := uint64(u[j+n])<<32 | uint64(u[j+n-1])
+		qhat := num / uint64(v[n-1])
+		rhat := num % uint64(v[n-1])
+		for qhat > 0xffffffff ||
+			qhat*uint64(v[n-2]) > rhat<<32|uint64(u[j+n-2]) {
+			qhat--
+			rhat += uint64(v[n-1])
+			if rhat > 0xffffffff {
+				break
+			}
+		}
+		// Multiply-subtract qhat*v from u[j..j+n].
+		var borrow int64
+		var carry uint64
+		for i := 0; i < n; i++ {
+			// Fold the multiply carry into the product before splitting,
+			// so the extra bit propagates correctly.
+			p := qhat*uint64(v[i]) + carry
+			sub := uint64(uint32(p))
+			carry = p >> 32
+			t := int64(uint64(u[i+j])) - int64(sub) - borrow
+			if t < 0 {
+				u[i+j] = uint32(t + (1 << 32))
+				borrow = 1
+			} else {
+				u[i+j] = uint32(t)
+				borrow = 0
+			}
+		}
+		t := int64(uint64(u[j+n])) - int64(carry) - borrow
+		if t < 0 {
+			// qhat was one too large: add v back and decrement.
+			u[j+n] = uint32(t + (1 << 32))
+			qhat--
+			var c uint64
+			for i := 0; i < n; i++ {
+				s := uint64(u[i+j]) + uint64(v[i]) + c
+				u[i+j] = uint32(s)
+				c = s >> 32
+			}
+			u[j+n] += uint32(c)
+		} else {
+			u[j+n] = uint32(t)
+		}
+		qLimbs[j] = uint32(qhat)
+	}
+	r = Int{limbs: norm(u[:n])}.Shr(shift)
+	return Int{limbs: norm(qLimbs)}, r, nil
+}
+
+// Div returns x / y, panicking on zero divisor.
+func (x Int) Div(y Int) Int {
+	q, _, err := x.DivMod(y)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Mod returns x % y, panicking on zero divisor.
+func (x Int) Mod(y Int) Int {
+	_, r, err := x.DivMod(y)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ModMul returns x*y mod m.
+func (x Int) ModMul(y, m Int) Int { return x.Mul(y).Mod(m) }
+
+// ModExp returns x^e mod m by square-and-multiply. m must be nonzero.
+func (x Int) ModExp(e, m Int) Int {
+	if m.IsZero() {
+		panic(ErrDivByZero)
+	}
+	if m.Cmp(One()) == 0 {
+		return Int{}
+	}
+	result := One()
+	base := x.Mod(m)
+	for i := 0; i < e.BitLen(); i++ {
+		if e.Bit(i) == 1 {
+			result = result.ModMul(base, m)
+		}
+		base = base.ModMul(base, m)
+	}
+	return result
+}
+
+// GCD returns gcd(x, y).
+func (x Int) GCD(y Int) Int {
+	a, b := x, y
+	for !b.IsZero() {
+		a, b = b, a.Mod(b)
+	}
+	return a
+}
+
+// ModInverse returns x^-1 mod m and ok=false if no inverse exists.
+// Extended Euclid carried with signs tracked manually (values are unsigned).
+func (x Int) ModInverse(m Int) (Int, bool) {
+	if m.IsZero() {
+		return Int{}, false
+	}
+	// Maintain r0 = m, r1 = x mod m; t coefficients with explicit signs.
+	r0, r1 := m, x.Mod(m)
+	t0, t1 := Zero(), One()
+	neg0, neg1 := false, false
+	for !r1.IsZero() {
+		q := r0.Div(r1)
+		r0, r1 = r1, r0.Sub(q.Mul(r1))
+		// t2 = t0 - q*t1 with sign tracking
+		qt := q.Mul(t1)
+		var t2 Int
+		var neg2 bool
+		if neg0 == neg1 {
+			if t0.Cmp(qt) >= 0 {
+				t2, neg2 = t0.Sub(qt), neg0
+			} else {
+				t2, neg2 = qt.Sub(t0), !neg0
+			}
+		} else {
+			t2, neg2 = t0.Add(qt), neg0
+		}
+		t0, t1, neg0, neg1 = t1, t2, neg1, neg2
+	}
+	if r0.Cmp(One()) != 0 {
+		return Int{}, false
+	}
+	if neg0 {
+		return m.Sub(t0.Mod(m)).Mod(m), true
+	}
+	return t0.Mod(m), true
+}
+
+// String renders x in decimal.
+func (x Int) String() string {
+	if x.IsZero() {
+		return "0"
+	}
+	var sb strings.Builder
+	ten := FromUint64(10)
+	var digits []byte
+	v := x
+	for !v.IsZero() {
+		q, r, _ := v.DivMod(ten)
+		digits = append(digits, byte('0'+r.Uint64()))
+		v = q
+	}
+	for i := len(digits) - 1; i >= 0; i-- {
+		sb.WriteByte(digits[i])
+	}
+	return sb.String()
+}

@@ -1,0 +1,190 @@
+package rsa
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/crypto/bignum"
+	"repro/internal/crypto/prng"
+)
+
+func genTestKey(t *testing.T, bits int) *PrivateKey {
+	t.Helper()
+	key, err := GenerateKey(prng.NewXorshift(0xbeef), bits)
+	if err != nil {
+		t.Fatalf("GenerateKey(%d): %v", bits, err)
+	}
+	return key
+}
+
+func TestGenerateKeyStructure(t *testing.T) {
+	key := genTestKey(t, 256)
+	if key.N.BitLen() != 256 {
+		t.Errorf("modulus bits = %d, want 256", key.N.BitLen())
+	}
+	if key.P.Mul(key.Q).Cmp(key.N) != 0 {
+		t.Error("p*q != n")
+	}
+	// e*d ≡ 1 mod phi
+	phi := key.P.Sub(bignum.One()).Mul(key.Q.Sub(bignum.One()))
+	if key.E.ModMul(key.D, phi).Cmp(bignum.One()) != 0 {
+		t.Error("e*d != 1 mod phi")
+	}
+}
+
+func TestGenerateKeyRejectsTiny(t *testing.T) {
+	if _, err := GenerateKey(prng.NewXorshift(1), 64); err == nil {
+		t.Error("64-bit key accepted")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	key := genTestKey(t, 384)
+	rng := prng.NewXorshift(7)
+	for _, msg := range [][]byte{
+		[]byte("k"),
+		[]byte("session-key-0123"),
+		bytes.Repeat([]byte{0xab}, key.MaxPlaintext()),
+	} {
+		ct, err := key.EncryptPKCS1(rng, msg)
+		if err != nil {
+			t.Fatalf("encrypt %d bytes: %v", len(msg), err)
+		}
+		pt, err := key.DecryptPKCS1(ct)
+		if err != nil {
+			t.Fatalf("decrypt: %v", err)
+		}
+		if !bytes.Equal(pt, msg) {
+			t.Errorf("round trip = %x, want %x", pt, msg)
+		}
+	}
+}
+
+func TestEncryptRejectsTooLong(t *testing.T) {
+	key := genTestKey(t, 256)
+	long := make([]byte, key.MaxPlaintext()+1)
+	if _, err := key.EncryptPKCS1(prng.NewXorshift(1), long); err == nil {
+		t.Error("oversized message accepted")
+	}
+}
+
+func TestDecryptRejectsGarbage(t *testing.T) {
+	key := genTestKey(t, 256)
+	if _, err := key.DecryptPKCS1(make([]byte, 5)); err == nil {
+		t.Error("short ciphertext accepted")
+	}
+	garbage := bytes.Repeat([]byte{0xff}, (key.N.BitLen()+7)/8)
+	if _, err := key.DecryptPKCS1(garbage); err == nil {
+		t.Error("ciphertext >= modulus accepted")
+	}
+}
+
+func TestDecryptDetectsTampering(t *testing.T) {
+	key := genTestKey(t, 384)
+	ct, err := key.EncryptPKCS1(prng.NewXorshift(3), []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := 0
+	for i := range ct {
+		mod := append([]byte(nil), ct...)
+		mod[i] ^= 0x01
+		if pt, err := key.DecryptPKCS1(mod); err != nil || !bytes.Equal(pt, []byte("secret")) {
+			tampered++
+		}
+	}
+	// Raw RSA without MAC can't catch every flip, but padding should
+	// catch the overwhelming majority.
+	if tampered < len(ct)*9/10 {
+		t.Errorf("only %d/%d tampered ciphertexts rejected or altered", tampered, len(ct))
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	key := genTestKey(t, 384)
+	digest := []byte("0123456789abcdef")
+	sig, err := key.SignRaw(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := key.VerifyRaw(sig)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !bytes.Equal(got, digest) {
+		t.Errorf("recovered digest %x, want %x", got, digest)
+	}
+	// Corrupt signature must fail.
+	sig[4] ^= 0xff
+	if _, err := key.VerifyRaw(sig); err == nil {
+		t.Error("corrupt signature verified")
+	}
+}
+
+func TestIsProbablePrimeKnownValues(t *testing.T) {
+	rng := prng.NewXorshift(1)
+	primes := []uint64{2, 3, 5, 7, 97, 65537, 1000003, 2147483647}
+	for _, p := range primes {
+		if !isProbablePrime(rng, bignum.FromUint64(p)) {
+			t.Errorf("%d reported composite", p)
+		}
+	}
+	composites := []uint64{1, 4, 9, 91, 561, 6601, 41041, 825265} // incl. Carmichael numbers
+	for _, c := range composites {
+		if isProbablePrime(rng, bignum.FromUint64(c)) {
+			t.Errorf("%d reported prime", c)
+		}
+	}
+}
+
+func TestGenPrimeBitLength(t *testing.T) {
+	rng := prng.NewXorshift(0x1234)
+	for _, bits := range []int{64, 96, 128} {
+		p := genPrime(rng, bits)
+		if p.BitLen() != bits {
+			t.Errorf("genPrime(%d) has %d bits", bits, p.BitLen())
+		}
+		if !p.IsOdd() {
+			t.Errorf("genPrime(%d) is even", bits)
+		}
+	}
+}
+
+func TestDeterministicKeygen(t *testing.T) {
+	k1, err := GenerateKey(prng.NewXorshift(42), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := GenerateKey(prng.NewXorshift(42), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.N.Cmp(k2.N) != 0 || k1.D.Cmp(k2.D) != 0 {
+		t.Error("same seed produced different keys")
+	}
+}
+
+func BenchmarkGenerateKey512(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateKey(prng.NewXorshift(uint64(i)+1), 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrypt512(b *testing.B) {
+	key, err := GenerateKey(prng.NewXorshift(9), 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := key.EncryptPKCS1(prng.NewXorshift(10), []byte("sixteen-byte-key"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.DecryptPKCS1(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package sha1 implements the SHA-1 hash and HMAC-SHA1 from scratch
+// (crypto/sha1 is deliberately not imported). SSL-era libraries like
+// issl used MD5/SHA-1 for key derivation and record authentication;
+// this package supplies both needs for the simulated library.
+//
+// SHA-1 is obsolete for collision resistance today; it is used here
+// solely to reproduce a 2003-era protocol stack.
+package sha1
+
+// Size is the digest length in bytes.
+const Size = 20
+
+// BlockSize is the compression-function block length in bytes.
+const BlockSize = 64
+
+// Digest is a streaming SHA-1 computation. The zero value is NOT
+// ready; use New.
+type Digest struct {
+	h      [5]uint32
+	block  [BlockSize]byte
+	nBlock int
+	length uint64
+}
+
+// New returns an initialized SHA-1 state.
+func New() *Digest {
+	d := &Digest{}
+	d.Reset()
+	return d
+}
+
+// Reset restores the initial state.
+func (d *Digest) Reset() {
+	d.h = [5]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0}
+	d.nBlock = 0
+	d.length = 0
+}
+
+// Write absorbs data. It never fails.
+func (d *Digest) Write(p []byte) (int, error) {
+	n := len(p)
+	d.length += uint64(n)
+	for len(p) > 0 {
+		c := copy(d.block[d.nBlock:], p)
+		d.nBlock += c
+		p = p[c:]
+		if d.nBlock == BlockSize {
+			d.compress(d.block[:])
+			d.nBlock = 0
+		}
+	}
+	return n, nil
+}
+
+// Sum appends the digest of everything written so far to b, without
+// disturbing the running state.
+func (d *Digest) Sum(b []byte) []byte {
+	cp := *d
+	bitLen := cp.length * 8
+	cp.Write([]byte{0x80})
+	for cp.nBlock != 56 {
+		cp.Write([]byte{0})
+	}
+	var lenb [8]byte
+	for i := 0; i < 8; i++ {
+		lenb[i] = byte(bitLen >> (56 - 8*i))
+	}
+	cp.Write(lenb[:])
+	out := make([]byte, 0, Size)
+	for _, w := range cp.h {
+		out = append(out, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+	return append(b, out...)
+}
+
+func rotl32(x uint32, n uint) uint32 { return x<<n | x>>(32-n) }
+
+func (d *Digest) compress(block []byte) {
+	var w [80]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = uint32(block[4*i])<<24 | uint32(block[4*i+1])<<16 |
+			uint32(block[4*i+2])<<8 | uint32(block[4*i+3])
+	}
+	for i := 16; i < 80; i++ {
+		w[i] = rotl32(w[i-3]^w[i-8]^w[i-14]^w[i-16], 1)
+	}
+	a, b, c, dd, e := d.h[0], d.h[1], d.h[2], d.h[3], d.h[4]
+	for i := 0; i < 80; i++ {
+		var f, k uint32
+		switch {
+		case i < 20:
+			f = b&c | ^b&dd
+			k = 0x5a827999
+		case i < 40:
+			f = b ^ c ^ dd
+			k = 0x6ed9eba1
+		case i < 60:
+			f = b&c | b&dd | c&dd
+			k = 0x8f1bbcdc
+		default:
+			f = b ^ c ^ dd
+			k = 0xca62c1d6
+		}
+		tmp := rotl32(a, 5) + f + e + k + w[i]
+		e, dd, c, b, a = dd, c, rotl32(b, 30), a, tmp
+	}
+	d.h[0] += a
+	d.h[1] += b
+	d.h[2] += c
+	d.h[3] += dd
+	d.h[4] += e
+}
+
+// Sum1 is the one-shot convenience form.
+func Sum1(data []byte) [Size]byte {
+	d := New()
+	d.Write(data)
+	var out [Size]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+// HMAC computes HMAC-SHA1(key, msg) per RFC 2104.
+func HMAC(key, msg []byte) [Size]byte {
+	if len(key) > BlockSize {
+		s := Sum1(key)
+		key = s[:]
+	}
+	var ipad, opad [BlockSize]byte
+	copy(ipad[:], key)
+	copy(opad[:], key)
+	for i := range ipad {
+		ipad[i] ^= 0x36
+		opad[i] ^= 0x5c
+	}
+	inner := New()
+	inner.Write(ipad[:])
+	inner.Write(msg)
+	outer := New()
+	outer.Write(opad[:])
+	outer.Write(inner.Sum(nil))
+	var out [Size]byte
+	copy(out[:], outer.Sum(nil))
+	return out
+}

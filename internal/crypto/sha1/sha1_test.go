@@ -1,0 +1,143 @@
+package sha1
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS 180-1 and RFC 3174 test vectors.
+var vectors = []struct {
+	in   string
+	want string
+}{
+	{"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+	{"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+	{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+		"84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+	{"The quick brown fox jumps over the lazy dog",
+		"2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"},
+}
+
+func TestVectors(t *testing.T) {
+	for _, v := range vectors {
+		got := Sum1([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			t.Errorf("SHA1(%q) = %x, want %s", v.in, got, v.want)
+		}
+	}
+}
+
+func TestMillionA(t *testing.T) {
+	d := New()
+	chunk := bytes.Repeat([]byte{'a'}, 1000)
+	for i := 0; i < 1000; i++ {
+		d.Write(chunk)
+	}
+	got := hex.EncodeToString(d.Sum(nil))
+	if got != "34aa973cd4c4daa4f61eeb2bdbad27316534016f" {
+		t.Errorf("SHA1(10^6 x 'a') = %s", got)
+	}
+}
+
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		d := New()
+		d.Write(a)
+		d.Write(b)
+		d.Write(c)
+		all := append(append(append([]byte{}, a...), b...), c...)
+		want := Sum1(all)
+		return bytes.Equal(d.Sum(nil), want[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumDoesNotDisturbState(t *testing.T) {
+	d := New()
+	d.Write([]byte("hello "))
+	first := d.Sum(nil)
+	second := d.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Error("repeated Sum differs")
+	}
+	d.Write([]byte("world"))
+	want := Sum1([]byte("hello world"))
+	if !bytes.Equal(d.Sum(nil), want[:]) {
+		t.Error("state disturbed by Sum")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New()
+	d.Write([]byte("garbage"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	want := Sum1([]byte("abc"))
+	if !bytes.Equal(d.Sum(nil), want[:]) {
+		t.Error("Reset did not restore initial state")
+	}
+}
+
+func TestBoundaryLengths(t *testing.T) {
+	// Message lengths straddling the 55/56/64-byte padding boundaries.
+	for _, n := range []int{54, 55, 56, 57, 63, 64, 65, 119, 120, 128} {
+		msg := []byte(strings.Repeat("x", n))
+		d := New()
+		d.Write(msg)
+		oneShot := Sum1(msg)
+		if !bytes.Equal(d.Sum(nil), oneShot[:]) {
+			t.Errorf("length %d: incremental != one-shot", n)
+		}
+		// Distinctness sanity: appending a byte changes the digest.
+		longer := Sum1(append(append([]byte{}, msg...), 'y'))
+		if oneShot == longer {
+			t.Errorf("length %d: extension collision", n)
+		}
+	}
+}
+
+// RFC 2202 HMAC-SHA1 test vectors.
+func TestHMACVectors(t *testing.T) {
+	cases := []struct {
+		key, data []byte
+		want      string
+	}{
+		{bytes.Repeat([]byte{0x0b}, 20), []byte("Hi There"),
+			"b617318655057264e28bc0b6fb378c8ef146be00"},
+		{[]byte("Jefe"), []byte("what do ya want for nothing?"),
+			"effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"},
+		{bytes.Repeat([]byte{0xaa}, 20), bytes.Repeat([]byte{0xdd}, 50),
+			"125d7342b9ac11cd91a39af48aa17b4f63f175d3"},
+		{bytes.Repeat([]byte{0xaa}, 80),
+			[]byte("Test Using Larger Than Block-Size Key - Hash Key First"),
+			"aa4ae5e15272d00e95705637ce8a3b55ed402112"},
+	}
+	for i, c := range cases {
+		got := HMAC(c.key, c.data)
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("case %d: HMAC = %x, want %s", i, got, c.want)
+		}
+	}
+}
+
+func TestHMACKeySensitivity(t *testing.T) {
+	msg := []byte("record payload")
+	a := HMAC([]byte("key-one"), msg)
+	b := HMAC([]byte("key-two"), msg)
+	if a == b {
+		t.Error("different keys gave identical MACs")
+	}
+}
+
+func BenchmarkSHA1_1K(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum1(data)
+	}
+}

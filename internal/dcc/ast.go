@@ -1,0 +1,147 @@
+package dcc
+
+// Types in the subset.
+type ctype int
+
+const (
+	typeVoid ctype = iota
+	typeChar       // unsigned 8-bit in storage, widened to int in expressions
+	typeInt        // signed 16-bit
+)
+
+func (t ctype) size() int {
+	if t == typeChar {
+		return 1
+	}
+	return 2
+}
+
+func (t ctype) String() string {
+	switch t {
+	case typeChar:
+		return "char"
+	case typeInt:
+		return "int"
+	default:
+		return "void"
+	}
+}
+
+// varDecl is a global, static local, or parameter.
+type varDecl struct {
+	name     string
+	typ      ctype
+	arrayLen int   // 0 for scalars
+	init     []int // initializer values (globals only)
+	xmem     bool  // placed in the bank-switched window
+	// explicitPlacement records a root/xmem keyword, which overrides
+	// the compiler's -rootdata default for arrays.
+	explicitPlacement bool
+	label             string
+	line              int
+}
+
+// funcDecl is a function definition.
+type funcDecl struct {
+	name   string
+	ret    ctype
+	params []*varDecl
+	locals []*varDecl // static storage, Dynamic C default
+	body   *blockStmt
+	line   int
+}
+
+// Statements.
+type stmt interface{ stmtNode() }
+
+type blockStmt struct{ stmts []stmt }
+type exprStmt struct{ e expr }
+type ifStmt struct {
+	cond      expr
+	then, els stmt
+}
+type whileStmt struct {
+	cond expr
+	body stmt
+}
+type doWhileStmt struct {
+	body stmt
+	cond expr
+}
+type forStmt struct {
+	init, post expr // may be nil
+	cond       expr // may be nil
+	body       stmt
+}
+type returnStmt struct{ e expr } // e may be nil
+type breakStmt struct{}
+type continueStmt struct{}
+type declStmt struct{ d *varDecl } // declaration with optional scalar init
+
+func (*blockStmt) stmtNode()    {}
+func (*exprStmt) stmtNode()     {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*doWhileStmt) stmtNode()  {}
+func (*forStmt) stmtNode()      {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+func (*declStmt) stmtNode()     {}
+
+// Expressions.
+type expr interface{ exprNode() }
+
+type numExpr struct{ v int }
+type varExpr struct {
+	name string
+	decl *varDecl // resolved
+}
+type indexExpr struct {
+	base *varExpr
+	idx  expr
+}
+type callExpr struct {
+	name string
+	args []expr
+	fn   *funcDecl
+}
+type unaryExpr struct {
+	op string // - ! ~
+	e  expr
+}
+type binExpr struct {
+	op   string
+	l, r expr
+}
+type assignExpr struct {
+	op  string // = += -= ^= &= |= <<= >>= *= /= %=
+	lhs expr   // varExpr or indexExpr
+	rhs expr
+}
+
+type ternaryExpr struct {
+	cond, then, els expr
+}
+
+type incDecExpr struct {
+	op     string // "++" or "--"
+	target expr   // varExpr or indexExpr
+	post   bool   // postfix (value is the OLD value)
+}
+
+func (*numExpr) exprNode()     {}
+func (*incDecExpr) exprNode()  {}
+func (*ternaryExpr) exprNode() {}
+func (*varExpr) exprNode()     {}
+func (*indexExpr) exprNode()   {}
+func (*callExpr) exprNode()    {}
+func (*unaryExpr) exprNode()   {}
+func (*binExpr) exprNode()     {}
+func (*assignExpr) exprNode()  {}
+
+// program is a parsed translation unit.
+type program struct {
+	globals []*varDecl
+	funcs   []*funcDecl
+}

@@ -1,0 +1,438 @@
+package dcc
+
+// Expression code generation. The model is the classic one-register
+// stack machine a simple compiler emits: HL holds the current value,
+// subexpressions round-trip through PUSH/POP, and anything harder than
+// add/subtract calls a runtime routine. The distance between this and
+// the hand-scheduled assembly in internal/aesasm is precisely the
+// paper's 15–20x observation.
+
+import "fmt"
+
+// genExpr leaves the expression's value in HL.
+func (g *codegen) genExpr(e expr) error {
+	switch v := e.(type) {
+	case *numExpr:
+		g.emit("        ld hl, %d", uint16(v.v))
+
+	case *varExpr:
+		d, err := g.resolve(v.name, 0)
+		if err != nil {
+			return err
+		}
+		if d.arrayLen > 0 {
+			return fmt.Errorf("%w: array %q used without index", ErrSemantic, v.name)
+		}
+		g.loadScalar(d)
+
+	case *indexExpr:
+		d, err := g.genElemAddr(v)
+		if err != nil {
+			return err
+		}
+		if d.typ == typeChar {
+			g.emit("        ld a, (hl)")
+			g.emit("        ld l, a")
+			g.emit("        ld h, 0")
+		} else {
+			g.emit("        ld e, (hl)")
+			g.emit("        inc hl")
+			g.emit("        ld d, (hl)")
+			g.emit("        ex de, hl")
+		}
+
+	case *callExpr:
+		fn := g.funcs[v.name]
+		if fn == nil {
+			return fmt.Errorf("%w: call to undefined function %q", ErrSemantic, v.name)
+		}
+		if len(v.args) != len(fn.params) {
+			return fmt.Errorf("%w: %s expects %d args, got %d", ErrSemantic, v.name, len(fn.params), len(v.args))
+		}
+		// Static calling convention: evaluate each argument and store
+		// it directly into the callee's (static) parameter slot.
+		for i, arg := range v.args {
+			if err := g.genExpr(arg); err != nil {
+				return err
+			}
+			g.storeScalar(fn.params[i])
+		}
+		g.emit("        call _%s", v.name)
+
+	case *unaryExpr:
+		if err := g.genExpr(v.e); err != nil {
+			return err
+		}
+		switch v.op {
+		case "-":
+			g.emit("        ld a, l")
+			g.emit("        cpl")
+			g.emit("        ld l, a")
+			g.emit("        ld a, h")
+			g.emit("        cpl")
+			g.emit("        ld h, a")
+			g.emit("        inc hl")
+		case "~":
+			g.emit("        ld a, l")
+			g.emit("        cpl")
+			g.emit("        ld l, a")
+			g.emit("        ld a, h")
+			g.emit("        cpl")
+			g.emit("        ld h, a")
+		case "!":
+			tru := g.label("not_t")
+			end := g.label("not_e")
+			g.emit("        ld a, h")
+			g.emit("        or l")
+			g.emit("        jp z, %s", tru)
+			g.emit("        ld hl, 0")
+			g.emit("        jp %s", end)
+			g.emit("%s:", tru)
+			g.emit("        ld hl, 1")
+			g.emit("%s:", end)
+		}
+
+	case *binExpr:
+		return g.genBin(v)
+
+	case *assignExpr:
+		return g.genAssign(v)
+
+	case *incDecExpr:
+		return g.genIncDec(v)
+
+	case *ternaryExpr:
+		els := g.label("tern_e")
+		end := g.label("tern_x")
+		if err := g.genExpr(v.cond); err != nil {
+			return err
+		}
+		g.emit("        ld a, h")
+		g.emit("        or l")
+		g.emit("        jp z, %s", els)
+		if err := g.genExpr(v.then); err != nil {
+			return err
+		}
+		g.emit("        jp %s", end)
+		g.emit("%s:", els)
+		if err := g.genExpr(v.els); err != nil {
+			return err
+		}
+		g.emit("%s:", end)
+
+	default:
+		return fmt.Errorf("%w: unknown expression", ErrSemantic)
+	}
+	return nil
+}
+
+func (g *codegen) loadScalar(d *varDecl) {
+	if d.typ == typeChar {
+		g.emit("        ld a, (%s)", d.label)
+		g.emit("        ld l, a")
+		g.emit("        ld h, 0")
+	} else {
+		g.emit("        ld hl, (%s)", d.label)
+	}
+}
+
+func (g *codegen) storeScalar(d *varDecl) {
+	if d.typ == typeChar {
+		g.emit("        ld a, l")
+		g.emit("        ld (%s), a", d.label)
+	} else {
+		g.emit("        ld (%s), hl", d.label)
+	}
+}
+
+// genElemAddr computes &base[idx] into HL and returns the array's
+// declaration. For xmem arrays it first programs the XPC bank
+// register through I/O — the per-access cost "moving data to root
+// memory" removes.
+func (g *codegen) genElemAddr(ix *indexExpr) (*varDecl, error) {
+	d, err := g.resolve(ix.base.name, 0)
+	if err != nil {
+		return nil, err
+	}
+	if d.arrayLen == 0 {
+		return nil, fmt.Errorf("%w: indexing non-array %q", ErrSemantic, ix.base.name)
+	}
+	if err := g.genExpr(ix.idx); err != nil {
+		return nil, err
+	}
+	if d.typ == typeInt {
+		g.emit("        add hl, hl")
+	}
+	if g.inXmem(d) {
+		// Select the xmem bank before touching the window.
+		g.emit("        ld a, 0")
+		g.emit("        ioi ld (0x%04x), a", XPCPort)
+	}
+	g.emit("        ld de, %s", d.label)
+	g.emit("        add hl, de")
+	return d, nil
+}
+
+func (g *codegen) genBin(v *binExpr) error {
+	switch v.op {
+	case "&&":
+		fail := g.label("and_f")
+		end := g.label("and_e")
+		if err := g.genExpr(v.l); err != nil {
+			return err
+		}
+		g.emit("        ld a, h")
+		g.emit("        or l")
+		g.emit("        jp z, %s", fail)
+		if err := g.genExpr(v.r); err != nil {
+			return err
+		}
+		g.emit("        ld a, h")
+		g.emit("        or l")
+		g.emit("        jp z, %s", fail)
+		g.emit("        ld hl, 1")
+		g.emit("        jp %s", end)
+		g.emit("%s:", fail)
+		g.emit("        ld hl, 0")
+		g.emit("%s:", end)
+		return nil
+	case "||":
+		ok := g.label("or_t")
+		end := g.label("or_e")
+		if err := g.genExpr(v.l); err != nil {
+			return err
+		}
+		g.emit("        ld a, h")
+		g.emit("        or l")
+		g.emit("        jp nz, %s", ok)
+		if err := g.genExpr(v.r); err != nil {
+			return err
+		}
+		g.emit("        ld a, h")
+		g.emit("        or l")
+		g.emit("        jp nz, %s", ok)
+		g.emit("        ld hl, 0")
+		g.emit("        jp %s", end)
+		g.emit("%s:", ok)
+		g.emit("        ld hl, 1")
+		g.emit("%s:", end)
+		return nil
+	}
+
+	// Constant shift counts stay inline (even simple compilers do this).
+	if n, ok := v.r.(*numExpr); ok && (v.op == "<<" || v.op == ">>") && n.v >= 0 && n.v <= 15 {
+		if err := g.genExpr(v.l); err != nil {
+			return err
+		}
+		for i := 0; i < n.v; i++ {
+			if v.op == "<<" {
+				g.emit("        add hl, hl")
+			} else {
+				g.emit("        sra h")
+				g.emit("        rr l")
+			}
+		}
+		return nil
+	}
+
+	if err := g.genExpr(v.l); err != nil {
+		return err
+	}
+	g.emit("        push hl")
+	if err := g.genExpr(v.r); err != nil {
+		return err
+	}
+	g.emit("        pop de")
+	// DE = left, HL = right.
+	g.applyBinOp(v.op)
+	return nil
+}
+
+// applyBinOp combines DE (left) and HL (right) into HL.
+func (g *codegen) applyBinOp(op string) {
+	switch op {
+	case "+":
+		g.emit("        add hl, de")
+	case "-":
+		g.emit("        ex de, hl")
+		g.emit("        or a")
+		g.emit("        sbc hl, de")
+	case "&", "|", "^":
+		mn := map[string]string{"&": "and", "|": "or", "^": "xor"}[op]
+		g.emit("        ld a, l")
+		g.emit("        %s e", mn)
+		g.emit("        ld l, a")
+		g.emit("        ld a, h")
+		g.emit("        %s d", mn)
+		g.emit("        ld h, a")
+	case "*":
+		g.emit("        call __mul")
+	case "/":
+		g.emit("        call __div")
+	case "%":
+		g.emit("        call __mod")
+	case "<<":
+		g.emit("        call __shl")
+	case ">>":
+		g.emit("        call __shr")
+	case "<":
+		g.emit("        call __lt")
+	case ">":
+		g.emit("        call __gt")
+	case "<=":
+		g.emit("        call __le")
+	case ">=":
+		g.emit("        call __ge")
+	case "==":
+		g.emit("        call __eq")
+	case "!=":
+		g.emit("        call __ne")
+	}
+}
+
+// genIncDec handles ++x / x++ / --x / x-- by lowering to the
+// equivalent add-and-store, preserving the pre/post value semantics.
+func (g *codegen) genIncDec(v *incDecExpr) error {
+	delta := "+"
+	if v.op == "--" {
+		delta = "-"
+	}
+	one := &numExpr{v: 1}
+	if !v.post {
+		// Prefix: value is the new value — exactly a compound assign.
+		return g.genAssign(&assignExpr{op: delta + "=", lhs: v.target, rhs: one})
+	}
+	// Postfix: compute the old value, then store old±1, leave old in HL.
+	switch lhs := v.target.(type) {
+	case *varExpr:
+		d, err := g.resolve(lhs.name, 0)
+		if err != nil {
+			return err
+		}
+		if d.arrayLen > 0 {
+			return fmt.Errorf("%w: %s on array %q", ErrSemantic, v.op, lhs.name)
+		}
+		g.loadScalar(d)
+		g.emit("        push hl") // old value
+		if delta == "+" {
+			g.emit("        inc hl")
+		} else {
+			g.emit("        dec hl")
+		}
+		g.storeScalar(d)
+		g.emit("        pop hl")
+		return nil
+	case *indexExpr:
+		d, err := g.genElemAddr(lhs)
+		if err != nil {
+			return err
+		}
+		g.emit("        push hl") // element address
+		if d.typ == typeChar {
+			g.emit("        ld a, (hl)")
+			g.emit("        ld l, a")
+			g.emit("        ld h, 0")
+		} else {
+			g.emit("        ld e, (hl)")
+			g.emit("        inc hl")
+			g.emit("        ld d, (hl)")
+			g.emit("        ex de, hl")
+		}
+		g.emit("        push hl") // old value
+		if delta == "+" {
+			g.emit("        inc hl")
+		} else {
+			g.emit("        dec hl")
+		}
+		g.emit("        pop de")      // DE = old value
+		g.emit("        ex de, hl")   // HL = old, DE = new
+		g.emit("        ex (sp), hl") // HL = addr, stack top = old value
+		if d.typ == typeChar {
+			g.emit("        ld a, e")
+			g.emit("        ld (hl), a")
+		} else {
+			g.emit("        ld (hl), e")
+			g.emit("        inc hl")
+			g.emit("        ld (hl), d")
+		}
+		g.emit("        pop hl") // old value as the expression result
+		return nil
+	}
+	return fmt.Errorf("%w: bad %s target", ErrSemantic, v.op)
+}
+
+func (g *codegen) genAssign(v *assignExpr) error {
+	baseOp := ""
+	if v.op != "=" {
+		baseOp = v.op[:len(v.op)-1] // "+=" -> "+"
+	}
+	switch lhs := v.lhs.(type) {
+	case *varExpr:
+		d, err := g.resolve(lhs.name, 0)
+		if err != nil {
+			return err
+		}
+		if d.arrayLen > 0 {
+			return fmt.Errorf("%w: cannot assign to array %q", ErrSemantic, lhs.name)
+		}
+		if baseOp != "" {
+			// old value as left operand
+			g.loadScalar(d)
+			g.emit("        push hl")
+			if err := g.genExpr(v.rhs); err != nil {
+				return err
+			}
+			g.emit("        pop de")
+			g.applyBinOp(baseOp)
+		} else {
+			if err := g.genExpr(v.rhs); err != nil {
+				return err
+			}
+		}
+		g.storeScalar(d)
+		return nil
+
+	case *indexExpr:
+		d, err := g.genElemAddr(lhs)
+		if err != nil {
+			return err
+		}
+		g.emit("        push hl") // element address
+		if baseOp != "" {
+			// Load current value through the saved address.
+			if d.typ == typeChar {
+				g.emit("        ld a, (hl)")
+				g.emit("        ld l, a")
+				g.emit("        ld h, 0")
+			} else {
+				g.emit("        ld e, (hl)")
+				g.emit("        inc hl")
+				g.emit("        ld d, (hl)")
+				g.emit("        ex de, hl")
+			}
+			g.emit("        push hl")
+			if err := g.genExpr(v.rhs); err != nil {
+				return err
+			}
+			g.emit("        pop de")
+			g.applyBinOp(baseOp)
+		} else {
+			if err := g.genExpr(v.rhs); err != nil {
+				return err
+			}
+		}
+		g.emit("        pop de") // element address
+		if d.typ == typeChar {
+			g.emit("        ld a, l")
+			g.emit("        ld (de), a")
+		} else {
+			g.emit("        ex de, hl")
+			g.emit("        ld (hl), e")
+			g.emit("        inc hl")
+			g.emit("        ld (hl), d")
+			g.emit("        ex de, hl") // value back in HL as the expr result
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: bad assignment target", ErrSemantic)
+}

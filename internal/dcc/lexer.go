@@ -1,0 +1,251 @@
+// Package dcc is a compiler for a Dynamic C subset targeting the
+// Rabbit 2000 simulator. It is the stand-in for the Dynamic C
+// toolchain of the paper: the same AES source compiles under four
+// optimization knobs — debug instrumentation on/off, loop unrolling,
+// root-vs-xmem data placement, and peephole optimization — which are
+// exactly the optimizations §6 reports trying on the C port ("moving
+// data to root memory, unrolling loops, disabling debugging, and
+// enabling compiler optimization").
+//
+// Dynamic C semantics honored: local variables are STATIC BY DEFAULT
+// (§4.1 — "Unlike ANSI C, local variables in Dynamic C are static by
+// default. This can dramatically change program behavior"), so the
+// generated code addresses locals as absolute memory and recursion is
+// rejected. There is no malloc; all data is statically placed.
+package dcc
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokChar
+	tokString
+	tokPunct // operators and punctuation
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"char": true, "int": true, "void": true, "unsigned": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"return": true, "break": true, "continue": true,
+	"static": true, "auto": true, "root": true, "xmem": true,
+	"shared": true, "const": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	val  int
+	line int
+}
+
+// ErrSyntax wraps all lexical and parse errors.
+var ErrSyntax = errors.New("dcc: syntax error")
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// multi-character operators, longest first.
+var punctuators = []string{
+	"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		ch := l.src[l.pos]
+		switch {
+		case ch == '\n':
+			l.line++
+			l.pos++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			l.pos++
+		case ch == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case ch == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return nil, fmt.Errorf("%w: line %d: unterminated comment", ErrSyntax, l.line)
+			}
+			l.pos += 2
+		case ch == '\'':
+			if err := l.charLit(); err != nil {
+				return nil, err
+			}
+		case ch == '"':
+			if err := l.stringLit(); err != nil {
+				return nil, err
+			}
+		case ch >= '0' && ch <= '9':
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(ch):
+			l.ident()
+		default:
+			if !l.punct() {
+				return nil, fmt.Errorf("%w: line %d: unexpected character %q", ErrSyntax, l.line, ch)
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+	return l.toks, nil
+}
+
+func isIdentStart(ch byte) bool {
+	return ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || ch == '_'
+}
+
+func isIdentChar(ch byte) bool {
+	return isIdentStart(ch) || ch >= '0' && ch <= '9'
+}
+
+func (l *lexer) charLit() error {
+	start := l.pos
+	l.pos++ // opening quote
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("%w: line %d: unterminated char literal", ErrSyntax, l.line)
+	}
+	var v int
+	if l.src[l.pos] == '\\' {
+		l.pos++
+		switch l.src[l.pos] {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case 'r':
+			v = '\r'
+		case '0':
+			v = 0
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		default:
+			return fmt.Errorf("%w: line %d: bad escape", ErrSyntax, l.line)
+		}
+	} else {
+		v = int(l.src[l.pos])
+	}
+	l.pos++
+	if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+		return fmt.Errorf("%w: line %d: unterminated char literal", ErrSyntax, l.line)
+	}
+	l.pos++
+	l.toks = append(l.toks, token{kind: tokChar, text: l.src[start:l.pos], val: v, line: l.line})
+	return nil
+}
+
+func (l *lexer) stringLit() error {
+	l.pos++ // opening quote
+	var out []byte
+	for {
+		if l.pos >= len(l.src) || l.src[l.pos] == '\n' {
+			return fmt.Errorf("%w: line %d: unterminated string", ErrSyntax, l.line)
+		}
+		ch := l.src[l.pos]
+		if ch == '"' {
+			l.pos++
+			break
+		}
+		if ch == '\\' {
+			l.pos++
+			if l.pos >= len(l.src) {
+				return fmt.Errorf("%w: line %d: bad escape", ErrSyntax, l.line)
+			}
+			switch l.src[l.pos] {
+			case 'n':
+				out = append(out, '\n')
+			case 'r':
+				out = append(out, '\r')
+			case 't':
+				out = append(out, '\t')
+			case '0':
+				out = append(out, 0)
+			case '"':
+				out = append(out, '"')
+			case '\\':
+				out = append(out, '\\')
+			default:
+				return fmt.Errorf("%w: line %d: bad escape \\%c", ErrSyntax, l.line, l.src[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		out = append(out, ch)
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokString, text: string(out), line: l.line})
+	return nil
+}
+
+func (l *lexer) number() error {
+	start := l.pos
+	base := 10
+	if l.src[l.pos] == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		base = 16
+		l.pos += 2
+	}
+	for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	digits := text
+	if base == 16 {
+		digits = text[2:]
+	}
+	v, err := strconv.ParseInt(digits, base, 32)
+	if err != nil {
+		return fmt.Errorf("%w: line %d: bad number %q", ErrSyntax, l.line, text)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, val: int(v), line: l.line})
+	return nil
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	kind := tokIdent
+	if keywords[text] {
+		kind = tokKeyword
+	}
+	l.toks = append(l.toks, token{kind: kind, text: text, line: l.line})
+}
+
+func (l *lexer) punct() bool {
+	for _, p := range punctuators {
+		if len(l.src)-l.pos >= len(p) && l.src[l.pos:l.pos+len(p)] == p {
+			l.toks = append(l.toks, token{kind: tokPunct, text: p, line: l.line})
+			l.pos += len(p)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,643 @@
+package dcc
+
+import (
+	"fmt"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+	prog *program
+	// current function being parsed (locals attach here)
+	fn *funcDecl
+}
+
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prog: &program{}}
+	for !p.at(tokEOF, "") {
+		if err := p.topLevel(); err != nil {
+			return nil, err
+		}
+	}
+	return p.prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	return t, fmt.Errorf("%w: line %d: expected %q, got %q", ErrSyntax, t.line, text, t.text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: "+format, append([]any{ErrSyntax, p.cur().line}, args...)...)
+}
+
+// typeSpec parses [storage] [const] (char|int|unsigned|void); returns
+// the type plus xmem/root placement hints.
+func (p *parser) typeSpec() (ctype, bool, bool, error) {
+	xmem := false
+	explicit := false
+	for {
+		switch {
+		case p.accept(tokKeyword, "static"), p.accept(tokKeyword, "const"),
+			p.accept(tokKeyword, "shared"):
+			// static is the default anyway; const/shared accepted, not enforced
+		case p.accept(tokKeyword, "xmem"):
+			xmem, explicit = true, true
+		case p.accept(tokKeyword, "root"):
+			xmem, explicit = false, true
+		case p.accept(tokKeyword, "auto"):
+			return 0, false, false, p.errf("auto locals are not supported (Dynamic C port uses static allocation)")
+		default:
+			goto base
+		}
+	}
+base:
+	switch {
+	case p.accept(tokKeyword, "char"):
+		return typeChar, xmem, explicit, nil
+	case p.accept(tokKeyword, "unsigned"):
+		p.accept(tokKeyword, "int") // "unsigned int"
+		return typeInt, xmem, explicit, nil
+	case p.accept(tokKeyword, "int"):
+		return typeInt, xmem, explicit, nil
+	case p.accept(tokKeyword, "void"):
+		return typeVoid, xmem, explicit, nil
+	}
+	return 0, false, false, p.errf("expected type, got %q", p.cur().text)
+}
+
+func (p *parser) topLevel() error {
+	typ, xmem, explicitPlace, err := p.typeSpec()
+	if err != nil {
+		return err
+	}
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	if p.at(tokPunct, "(") {
+		return p.funcDef(typ, nameTok.text)
+	}
+	// Global variable(s).
+	for {
+		d := &varDecl{name: nameTok.text, typ: typ, xmem: xmem, line: nameTok.line}
+		if typ == typeVoid {
+			return p.errf("void variable %q", d.name)
+		}
+		d.explicitPlacement = explicitPlace
+		if err := p.varTail(d, true); err != nil {
+			return err
+		}
+		p.prog.globals = append(p.prog.globals, d)
+		if p.accept(tokPunct, ",") {
+			nameTok, err = p.expect(tokIdent, "")
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		_, err := p.expect(tokPunct, ";")
+		return err
+	}
+}
+
+// varTail parses the [N] and = init parts of a declaration.
+func (p *parser) varTail(d *varDecl, allowInit bool) error {
+	if p.accept(tokPunct, "[") {
+		if p.accept(tokPunct, "]") {
+			// Length inferred from the initializer (string form).
+			d.arrayLen = -1
+		} else {
+			n, err := p.constExpr()
+			if err != nil {
+				return err
+			}
+			if n <= 0 || n > 32768 {
+				return p.errf("bad array length %d", n)
+			}
+			d.arrayLen = n
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return err
+			}
+		}
+	}
+	if p.accept(tokPunct, "=") {
+		if !allowInit {
+			return p.errf("initializer not allowed here")
+		}
+		// char msg[N] = "text";  (NUL-terminated; N may be implied)
+		if p.at(tokString, "") {
+			if d.typ != typeChar {
+				return p.errf("string initializer on non-char %q", d.name)
+			}
+			txt := p.next().text
+			for _, b := range []byte(txt) {
+				d.init = append(d.init, int(b))
+			}
+			d.init = append(d.init, 0)
+			if d.arrayLen <= 0 {
+				d.arrayLen = len(d.init)
+			}
+			if len(d.init) > d.arrayLen {
+				return p.errf("string too long for %s[%d]", d.name, d.arrayLen)
+			}
+			return nil
+		}
+		if d.arrayLen > 0 {
+			if _, err := p.expect(tokPunct, "{"); err != nil {
+				return err
+			}
+			for {
+				v, err := p.constExpr()
+				if err != nil {
+					return err
+				}
+				d.init = append(d.init, v)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+				if p.at(tokPunct, "}") { // trailing comma
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, "}"); err != nil {
+				return err
+			}
+			if len(d.init) > d.arrayLen {
+				return p.errf("too many initializers for %s[%d]", d.name, d.arrayLen)
+			}
+		} else {
+			v, err := p.constExpr()
+			if err != nil {
+				return err
+			}
+			d.init = []int{v}
+		}
+	}
+	if d.arrayLen == -1 {
+		return p.errf("array %q needs a length or a string initializer", d.name)
+	}
+	return nil
+}
+
+// constExpr evaluates a constant expression (number/char, unary minus,
+// | of constants for flags).
+func (p *parser) constExpr() (int, error) {
+	neg := false
+	if p.accept(tokPunct, "-") {
+		neg = true
+	}
+	t := p.cur()
+	if t.kind != tokNumber && t.kind != tokChar {
+		return 0, p.errf("expected constant, got %q", t.text)
+	}
+	p.next()
+	v := t.val
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) funcDef(ret ctype, name string) error {
+	fn := &funcDecl{name: name, ret: ret, line: p.cur().line}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return err
+	}
+	if !p.accept(tokPunct, ")") {
+		if p.accept(tokKeyword, "void") {
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return err
+			}
+		} else {
+			for {
+				typ, _, _, err := p.typeSpec()
+				if err != nil {
+					return err
+				}
+				nameTok, err := p.expect(tokIdent, "")
+				if err != nil {
+					return err
+				}
+				if typ == typeVoid {
+					return p.errf("void parameter")
+				}
+				fn.params = append(fn.params, &varDecl{name: nameTok.text, typ: typ, line: nameTok.line})
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return err
+			}
+		}
+	}
+	p.fn = fn
+	body, err := p.block()
+	p.fn = nil
+	if err != nil {
+		return err
+	}
+	fn.body = body
+	p.prog.funcs = append(p.prog.funcs, fn)
+	return nil
+}
+
+func (p *parser) block() (*blockStmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{}
+	for !p.accept(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.stmts = append(b.stmts, s)
+		}
+	}
+	return b, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && (t.text == "char" || t.text == "int" ||
+		t.text == "unsigned" || t.text == "static" || t.text == "auto" ||
+		t.text == "root" || t.text == "xmem" || t.text == "const"):
+		return p.localDecl()
+	case p.accept(tokKeyword, "if"):
+		return p.ifStatement()
+	case p.accept(tokKeyword, "while"):
+		return p.whileStatement()
+	case p.accept(tokKeyword, "do"):
+		return p.doWhileStatement()
+	case p.accept(tokKeyword, "for"):
+		return p.forStatement()
+	case p.accept(tokKeyword, "return"):
+		rs := &returnStmt{}
+		if !p.at(tokPunct, ";") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			rs.e = e
+		}
+		_, err := p.expect(tokPunct, ";")
+		return rs, err
+	case p.accept(tokKeyword, "break"):
+		_, err := p.expect(tokPunct, ";")
+		return &breakStmt{}, err
+	case p.accept(tokKeyword, "continue"):
+		_, err := p.expect(tokPunct, ";")
+		return &continueStmt{}, err
+	case p.at(tokPunct, "{"):
+		return p.block()
+	case p.accept(tokPunct, ";"):
+		return nil, nil
+	default:
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &exprStmt{e: e}, nil
+	}
+}
+
+// localDecl parses a static local declaration (Dynamic C default).
+func (p *parser) localDecl() (stmt, error) {
+	if p.fn == nil {
+		return nil, p.errf("declaration outside function")
+	}
+	typ, xmem, _, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	var first stmt
+	var blockOut []stmt
+	for {
+		nameTok, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d := &varDecl{name: nameTok.text, typ: typ, xmem: xmem, line: nameTok.line}
+		if err := p.varTail(d, true); err != nil {
+			return nil, err
+		}
+		p.fn.locals = append(p.fn.locals, d)
+		var s stmt = &declStmt{d: d}
+		blockOut = append(blockOut, s)
+		if first == nil {
+			first = s
+		}
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if len(blockOut) == 1 {
+		return first, nil
+	}
+	return &blockStmt{stmts: blockOut}, nil
+}
+
+func (p *parser) ifStatement() (stmt, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	s := &ifStmt{cond: cond, then: then}
+	if p.accept(tokKeyword, "else") {
+		els, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		s.els = els
+	}
+	return s, nil
+}
+
+func (p *parser) whileStatement() (stmt, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return &whileStmt{cond: cond, body: body}, nil
+}
+
+func (p *parser) doWhileStatement() (stmt, error) {
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "while"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &doWhileStmt{body: body, cond: cond}, nil
+}
+
+func (p *parser) forStatement() (stmt, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	s := &forStmt{}
+	if !p.at(tokPunct, ";") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		s.init = e
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ";") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		s.cond = e
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ")") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		s.post = e
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	s.body = body
+	return s, nil
+}
+
+// --- expressions (precedence climbing) -----------------------------------------
+
+func (p *parser) expression() (expr, error) { return p.assignment() }
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+func (p *parser) assignment() (expr, error) {
+	lhs, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	// cond ? a : b (right-associative, between binary and assignment)
+	if p.accept(tokPunct, "?") {
+		then, err := p.assignment()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		els, err := p.assignment()
+		if err != nil {
+			return nil, err
+		}
+		return &ternaryExpr{cond: lhs, then: then, els: els}, nil
+	}
+	t := p.cur()
+	if t.kind == tokPunct && assignOps[t.text] {
+		switch lhs.(type) {
+		case *varExpr, *indexExpr:
+		default:
+			return nil, p.errf("assignment to non-lvalue")
+		}
+		p.next()
+		rhs, err := p.assignment()
+		if err != nil {
+			return nil, err
+		}
+		return &assignExpr{op: t.text, lhs: lhs, rhs: rhs}, nil
+	}
+	return lhs, nil
+}
+
+// Binary operator precedence (C-like).
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6, "<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) binary(minPrec int) (expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := binPrec[t.text]
+		if t.kind != tokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binExpr{op: t.text, l: lhs, r: rhs}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!" || t.text == "~") {
+		p.next()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: t.text, e: e}, nil
+	}
+	if t.kind == tokPunct && (t.text == "++" || t.text == "--") {
+		p.next()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		switch e.(type) {
+		case *varExpr, *indexExpr:
+		default:
+			return nil, p.errf("%s of non-lvalue", t.text)
+		}
+		return &incDecExpr{op: t.text, target: e, post: false}, nil
+	}
+	if t.kind == tokPunct && t.text == "+" {
+		p.next()
+		return p.unary()
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber || t.kind == tokChar:
+		p.next()
+		return &numExpr{v: t.val}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokPunct, ")")
+		return e, err
+	case t.kind == tokIdent:
+		p.next()
+		if p.accept(tokPunct, "(") {
+			call := &callExpr{name: t.text}
+			if !p.accept(tokPunct, ")") {
+				for {
+					a, err := p.expression()
+					if err != nil {
+						return nil, err
+					}
+					call.args = append(call.args, a)
+					if !p.accept(tokPunct, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		var e expr = &varExpr{name: t.text}
+		if p.accept(tokPunct, "[") {
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = &indexExpr{base: e.(*varExpr), idx: idx}
+		}
+		if p.at(tokPunct, "++") || p.at(tokPunct, "--") {
+			op := p.next().text
+			return &incDecExpr{op: op, target: e, post: true}, nil
+		}
+		return e, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

@@ -1,0 +1,345 @@
+package dcc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// emitData lays out all static storage: root data right after the
+// code, xmem data in the bank-switched window at 0xE000.
+func (g *codegen) emitData() {
+	var root, xmem []*varDecl
+	add := func(d *varDecl) {
+		if g.inXmem(d) {
+			xmem = append(xmem, d)
+		} else {
+			root = append(root, d)
+		}
+	}
+	for _, d := range g.prog.globals {
+		add(d)
+	}
+	for _, fn := range g.prog.funcs {
+		for _, p := range fn.params {
+			add(p)
+		}
+		for _, l := range fn.locals {
+			add(l)
+		}
+	}
+	g.emit("; --- root data")
+	for _, d := range root {
+		g.emitVar(d)
+	}
+	if len(xmem) > 0 {
+		g.emit("; --- xmem data (bank-switched window)")
+		g.emit("        org 0xE000")
+		for _, d := range xmem {
+			g.emitVar(d)
+		}
+	}
+}
+
+func (g *codegen) emitVar(d *varDecl) {
+	n := d.arrayLen
+	if n == 0 {
+		n = 1
+	}
+	if len(d.init) == 0 {
+		g.emit("%s: ds %d", d.label, n*d.typ.size())
+		return
+	}
+	g.emit("%s:", d.label)
+	vals := make([]int, n)
+	copy(vals, d.init)
+	dir := "db"
+	if d.typ == typeInt {
+		dir = "dw"
+	}
+	for row := 0; row < len(vals); row += 16 {
+		endI := row + 16
+		if endI > len(vals) {
+			endI = len(vals)
+		}
+		parts := make([]string, 0, 16)
+		for _, v := range vals[row:endI] {
+			if d.typ == typeChar {
+				parts = append(parts, fmt.Sprintf("0x%02x", uint8(v)))
+			} else {
+				parts = append(parts, fmt.Sprintf("0x%04x", uint16(v)))
+			}
+		}
+		g.emit("        %s %s", dir, strings.Join(parts, ", "))
+	}
+}
+
+// peephole applies simple window rewrites to the generated code — the
+// "-O" knob. Labels end rewriting windows (a jump may land between
+// instructions otherwise).
+func peephole(lines []string) []string {
+	changed := true
+	for changed {
+		changed = false
+		var out []string
+		i := 0
+		isLabel := func(s string) bool {
+			t := strings.TrimSpace(s)
+			return strings.HasSuffix(t, ":") || strings.HasPrefix(t, ";")
+		}
+		instr := func(idx int) string {
+			if idx >= len(lines) {
+				return ""
+			}
+			return strings.TrimSpace(lines[idx])
+		}
+		for i < len(lines) {
+			a, b := instr(i), instr(i+1)
+			if isLabel(lines[i]) {
+				out = append(out, lines[i])
+				i++
+				continue
+			}
+			// push hl / pop de  ->  register move
+			if a == "push hl" && b == "pop de" && !isLabel(lineAt(lines, i+1)) {
+				out = append(out, "        ld d, h", "        ld e, l")
+				i += 2
+				changed = true
+				continue
+			}
+			// ld (X), hl / ld hl, (X)  ->  drop the reload
+			if strings.HasPrefix(a, "ld (") && strings.HasSuffix(a, "), hl") &&
+				b == "ld hl, ("+a[4:len(a)-5]+")" {
+				out = append(out, lines[i])
+				i += 2
+				changed = true
+				continue
+			}
+			// jp L immediately followed by L:
+			if strings.HasPrefix(a, "jp ") && !strings.Contains(a, ",") &&
+				strings.TrimSpace(lineAt(lines, i+1)) == strings.TrimPrefix(a, "jp ")+":" {
+				i++ // drop the jp, keep the label on next iteration
+				changed = true
+				continue
+			}
+			// ld hl, N / ld a, h / or l / jp z, L with N != 0: the
+			// condition is constant-true; drop the test and the jump.
+			if strings.HasPrefix(a, "ld hl, ") && instr(i+1) == "ld a, h" &&
+				instr(i+2) == "or l" && strings.HasPrefix(instr(i+3), "jp z, ") {
+				n := strings.TrimPrefix(a, "ld hl, ")
+				if n != "0" && !strings.ContainsAny(n, "abcdefghijklmnopqrstuvwxyz_") {
+					out = append(out, lines[i])
+					i += 4
+					changed = true
+					continue
+				}
+			}
+			out = append(out, lines[i])
+			i++
+		}
+		lines = out
+	}
+	return lines
+}
+
+func lineAt(lines []string, i int) string {
+	if i >= len(lines) {
+		return ""
+	}
+	return lines[i]
+}
+
+// runtimeAsm is the compiler support library: 16-bit multiply, divide,
+// modulo, variable shifts, signed comparisons, and the debug-kernel
+// hook. These are the routines a Small-C-class compiler calls instead
+// of emitting inline code — one reason compiled output trails hand
+// assembly so badly.
+const runtimeAsm = `
+; --- dcc runtime ---------------------------------------------------------
+; __mul: HL = DE * HL (low 16 bits)
+__mul:
+        ld c, l
+        ld b, h
+        ld hl, 0
+__mul_lp:
+        ld a, b
+        or c
+        ret z
+        srl b
+        rr c
+        jr nc, __mul_sk
+        add hl, de
+__mul_sk:
+        ex de, hl
+        add hl, hl
+        ex de, hl
+        jp __mul_lp
+
+; __divu: unsigned DE / HL -> HL = quotient, DE = remainder
+__divu:
+        ld a, h
+        or l
+        jr nz, __divu_go
+        ld hl, 0xFFFF
+        ld de, 0
+        ret
+__divu_go:
+        ld (__divisor), hl
+        ld hl, 0
+        ld b, 16
+__divu_lp:
+        sla e
+        rl d
+        adc hl, hl
+        push de
+        ld de, (__divisor)
+        or a
+        sbc hl, de
+        jr nc, __divu_ok
+        add hl, de
+        pop de
+        jr __divu_nx
+__divu_ok:
+        pop de
+        inc e
+__divu_nx:
+        djnz __divu_lp
+        ex de, hl
+        ret
+
+; __div: signed DE / HL -> HL
+__div:
+        ld a, d
+        xor h
+        push af
+        call __absde
+        call __abshl
+        call __divu
+        pop af
+        and 0x80
+        ret z
+        jp __neghl
+
+; __mod: signed DE % HL -> HL (sign follows the dividend, like C)
+__mod:
+        ld a, d
+        push af
+        call __absde
+        call __abshl
+        call __divu
+        ex de, hl
+        pop af
+        and 0x80
+        ret z
+        jp __neghl
+
+__absde:
+        bit 7, d
+        ret z
+        ld a, e
+        cpl
+        ld e, a
+        ld a, d
+        cpl
+        ld d, a
+        inc de
+        ret
+
+__abshl:
+        bit 7, h
+        ret z
+__neghl:
+        ld a, l
+        cpl
+        ld l, a
+        ld a, h
+        cpl
+        ld h, a
+        inc hl
+        ret
+
+; __shl: HL = DE << L (count 0..15)
+__shl:
+        ld a, l
+        ex de, hl
+        or a
+        ret z
+        ld b, a
+__shl_lp:
+        add hl, hl
+        djnz __shl_lp
+        ret
+
+; __shr: HL = DE >> L, arithmetic
+__shr:
+        ld a, l
+        ex de, hl
+        or a
+        ret z
+        ld b, a
+__shr_lp:
+        sra h
+        rr l
+        djnz __shr_lp
+        ret
+
+; signed comparisons: DE (left) vs HL (right) -> HL = 0/1
+__lt:
+        ld a, d
+        xor h
+        jp m, __lt_diff
+        ex de, hl
+        or a
+        sbc hl, de
+        jr c, __ret1
+        jr __ret0
+__lt_diff:
+        bit 7, d
+        jr nz, __ret1
+        jr __ret0
+
+__gt:
+        ex de, hl
+        jp __lt
+
+__le:
+        call __gt
+        jp __flip
+
+__ge:
+        call __lt
+        jp __flip
+
+__flip:
+        ld a, l
+        xor 1
+        ld l, a
+        ret
+
+__eq:
+        or a
+        sbc hl, de
+        jr z, __ret1
+        jr __ret0
+
+__ne:
+        or a
+        sbc hl, de
+        jr nz, __ret1
+        jr __ret0
+
+__ret1:
+        ld hl, 1
+        ret
+__ret0:
+        ld hl, 0
+        ret
+
+; __dbg: per-statement debug-kernel hook (single-step bookkeeping on
+; the real Dynamic C target; here a fixed-cost stand-in).
+__dbg:
+        push af
+        pop af
+        ret
+
+__divisor: ds 2
+`

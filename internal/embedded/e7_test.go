@@ -1,0 +1,131 @@
+package embedded
+
+// E7: the §5 porting workarounds behave like the facilities they
+// replace. Each test here is named in EXPERIMENTS.md.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/crypto/prng"
+)
+
+// TestE7_RandomReplacementMatchesANSI: the port had to write its own
+// random(); the replacement reproduces the ANSI C reference sequence,
+// so code expecting rand() semantics keeps working.
+func TestE7_RandomReplacementMatchesANSI(t *testing.T) {
+	l := prng.NewLCG(1)
+	want := []int{16838, 5758, 10113}
+	for i, w := range want {
+		if got := l.Next(); got != w {
+			t.Fatalf("value %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestE7_CircularLogKeepsMostRecent: the file log became a ring; the
+// property the service relies on is that the most recent entries
+// survive, unboundedly old ones are shed, and nothing blocks.
+func TestE7_CircularLogKeepsMostRecent(t *testing.T) {
+	l := NewCircularLog(8)
+	for i := 0; i < 1000; i++ {
+		l.Printf("conn %d", i)
+	}
+	e := l.Entries()
+	if len(e) != 8 {
+		t.Fatalf("retained %d entries", len(e))
+	}
+	if e[7] != "conn 999" || e[0] != "conn 992" {
+		t.Errorf("window = [%s .. %s]", e[0], e[7])
+	}
+	if l.Dropped() != 1000-8 {
+		t.Errorf("dropped = %d", l.Dropped())
+	}
+}
+
+// TestE7_XAllocHasNoFree: allocation is monotonic — the reason the
+// port "chose to remove all references to malloc and statically
+// allocate all variables", which in turn forced dropping multiple
+// key/block sizes.
+func TestE7_XAllocHasNoFree(t *testing.T) {
+	x := NewXAlloc(256)
+	for i := 0; i < 8; i++ {
+		if _, err := x.Alloc(32); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	// Arena exhausted; nothing ever comes back without a reset.
+	if _, err := x.Alloc(1); !errors.Is(err, ErrOutOfXMem) {
+		t.Errorf("exhausted arena returned %v", err)
+	}
+	x.Reset() // the reboot path — the only "free"
+	if _, err := x.Alloc(256); err != nil {
+		t.Errorf("post-reset alloc: %v", err)
+	}
+}
+
+// TestE7_XPtrForbidsArithmetic: xalloc returns handles on which
+// pointer arithmetic is meaningless ("arithmetic, therefore, cannot be
+// performed on the returned pointer") — the handle type makes
+// out-of-allocation access an error rather than a corruption.
+func TestE7_XPtrForbidsArithmetic(t *testing.T) {
+	x := NewXAlloc(64)
+	a, _ := x.Alloc(16)
+	b, _ := x.Alloc(16)
+	// Walking off the end of a does NOT reach b.
+	if err := a.Write(16, []byte{0xFF}); err == nil {
+		t.Error("write past allocation end succeeded")
+	}
+	buf := make([]byte, 1)
+	if err := b.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] == 0xFF {
+		t.Error("adjacent allocation corrupted")
+	}
+}
+
+// TestE7_FuncChainRunsAllSegments: §4.4's function chaining — all
+// registered segments execute, in order, on one invocation.
+func TestE7_FuncChainRunsAllSegments(t *testing.T) {
+	chain := MakeChain("recover")
+	var order []string
+	chain.Add(func() { order = append(order, "free_memory") })
+	chain.Add(func() { order = append(order, "declare_memory") })
+	chain.Add(func() { order = append(order, "initialize") })
+	if chain.Len() != 3 || chain.Name() != "recover" {
+		t.Fatalf("chain meta wrong: %d %q", chain.Len(), chain.Name())
+	}
+	chain.Invoke()
+	want := "free_memory,declare_memory,initialize"
+	got := ""
+	for i, s := range order {
+		if i > 0 {
+			got += ","
+		}
+		got += s
+	}
+	if got != want {
+		t.Errorf("order = %s", got)
+	}
+	// Second invocation runs everything again.
+	chain.Invoke()
+	if len(order) != 6 {
+		t.Errorf("segments ran %d times total, want 6", len(order))
+	}
+}
+
+// TestE7_ProtectedVariableRecovery: §4.3's protected storage class —
+// the battery-backed copy restores state after a reset, the mechanism
+// behind "reset the application, possibly maintaining program state".
+func TestE7_ProtectedVariableRecovery(t *testing.T) {
+	ram := NewBatteryRAM()
+	state1 := NewProtectedInt(ram, "state1", 0)
+	state1.Set(7)
+	state1.Set(42)
+	state1.Corrupt() // the crash
+	state1.Restore() // _sysIsSoftReset path
+	if state1.Get() != 42 {
+		t.Errorf("recovered %d, want 42", state1.Get())
+	}
+}

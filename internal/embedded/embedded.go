@@ -1,0 +1,358 @@
+// Package embedded collects the workarounds §5 of the paper describes
+// for Unix facilities the RMC2000 environment lacks:
+//
+//   - XAlloc: Dynamic C "provides the xalloc function that allocates
+//     extended memory only... there is no analogue to free". A bump
+//     allocator over a fixed arena whose handles cannot be used for
+//     pointer arithmetic — the very restriction that pushed the port
+//     to static allocation and a single AES key/block size.
+//   - CircularLog: "to make logging write to a circular buffer rather
+//     than a file" — the replacement for unbounded filesystem logs.
+//   - ErrorHandlers: the defineErrorHandler(void *errfcn) mechanism;
+//     hardware and library exceptions dispatch here because there is
+//     no OS to catch them.
+//   - MsTimer: "the protocols include timeouts, but Dynamic C does not
+//     have a timer" — the MS_TIMER-style millisecond counter the port
+//     had to build.
+//   - Shared / Protected variables: Dynamic C storage classes. shared
+//     guarantees atomic multibyte updates; protected copies values to
+//     battery-backed RAM before modification and restores them after
+//     a reset.
+package embedded
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// --- xalloc ----------------------------------------------------------------
+
+// XPtr is a handle into extended memory. It is deliberately opaque:
+// the Rabbit returns physical addresses on which C pointer arithmetic
+// is meaningless, and this type gives the same discipline.
+type XPtr struct {
+	off, size int
+	arena     *XAlloc
+}
+
+// XAlloc is a bump allocator over a fixed extended-memory arena.
+// There is no free: memory is returned only by Reset (a reboot).
+type XAlloc struct {
+	mu    sync.Mutex
+	arena []byte
+	next  int
+}
+
+// ErrOutOfXMem is returned when the arena is exhausted.
+var ErrOutOfXMem = errors.New("embedded: out of extended memory")
+
+// NewXAlloc creates an arena of the given size in bytes.
+func NewXAlloc(size int) *XAlloc {
+	return &XAlloc{arena: make([]byte, size)}
+}
+
+// Alloc reserves n bytes. There is no Free.
+func (x *XAlloc) Alloc(n int) (XPtr, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if n <= 0 {
+		return XPtr{}, fmt.Errorf("embedded: xalloc of %d bytes", n)
+	}
+	if x.next+n > len(x.arena) {
+		return XPtr{}, fmt.Errorf("%w: want %d, %d left", ErrOutOfXMem, n, len(x.arena)-x.next)
+	}
+	p := XPtr{off: x.next, size: n, arena: x}
+	x.next += n
+	return p, nil
+}
+
+// Remaining returns unallocated arena bytes.
+func (x *XAlloc) Remaining() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.arena) - x.next
+}
+
+// Reset returns all memory to the pool (model of a reboot).
+func (x *XAlloc) Reset() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.next = 0
+	for i := range x.arena {
+		x.arena[i] = 0
+	}
+}
+
+// Size returns the allocation's length.
+func (p XPtr) Size() int { return p.size }
+
+// Valid reports whether the handle refers to an allocation.
+func (p XPtr) Valid() bool { return p.arena != nil }
+
+// Read copies the allocation's bytes at offset off into buf.
+func (p XPtr) Read(off int, buf []byte) error {
+	if !p.Valid() || off < 0 || off+len(buf) > p.size {
+		return errors.New("embedded: xmem read out of bounds")
+	}
+	p.arena.mu.Lock()
+	defer p.arena.mu.Unlock()
+	copy(buf, p.arena.arena[p.off+off:p.off+off+len(buf)])
+	return nil
+}
+
+// Write copies buf into the allocation at offset off.
+func (p XPtr) Write(off int, buf []byte) error {
+	if !p.Valid() || off < 0 || off+len(buf) > p.size {
+		return errors.New("embedded: xmem write out of bounds")
+	}
+	p.arena.mu.Lock()
+	defer p.arena.mu.Unlock()
+	copy(p.arena.arena[p.off+off:], buf)
+	return nil
+}
+
+// --- circular log ------------------------------------------------------------
+
+// CircularLog replaces file logging with a fixed-size ring of entries;
+// old entries are overwritten, never flushed to a filesystem that the
+// platform does not have.
+type CircularLog struct {
+	mu      sync.Mutex
+	entries []string
+	next    int
+	filled  bool
+	dropped int
+}
+
+// NewCircularLog creates a ring holding n entries.
+func NewCircularLog(n int) *CircularLog {
+	if n < 1 {
+		n = 1
+	}
+	return &CircularLog{entries: make([]string, n)}
+}
+
+// Printf appends a formatted entry, evicting the oldest when full.
+func (l *CircularLog) Printf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.filled {
+		l.dropped++
+	}
+	l.entries[l.next] = fmt.Sprintf(format, args...)
+	l.next++
+	if l.next == len(l.entries) {
+		l.next = 0
+		l.filled = true
+	}
+}
+
+// Entries returns the retained entries, oldest first.
+func (l *CircularLog) Entries() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	if l.filled {
+		out = append(out, l.entries[l.next:]...)
+	}
+	out = append(out, l.entries[:l.next]...)
+	return out
+}
+
+// Dropped returns how many entries have been overwritten.
+func (l *CircularLog) Dropped() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Len returns the number of retained entries.
+func (l *CircularLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.filled {
+		return len(l.entries)
+	}
+	return l.next
+}
+
+// --- error handler -----------------------------------------------------------
+
+// Errno identifies a runtime error class the hardware or library can raise.
+type Errno int
+
+// Error classes modeled after the Rabbit runtime's fatal errors.
+const (
+	ErrDivideByZero Errno = iota + 1
+	ErrStackOverflow
+	ErrBadInterrupt
+	ErrDomain
+	ErrLibrary
+)
+
+var errnoNames = map[Errno]string{
+	ErrDivideByZero: "divide-by-zero", ErrStackOverflow: "stack overflow",
+	ErrBadInterrupt: "bad interrupt", ErrDomain: "domain error",
+	ErrLibrary: "library error",
+}
+
+func (e Errno) String() string {
+	if n, ok := errnoNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}
+
+// Handler receives the error class and a hardware-supplied info word
+// (the values the Rabbit pushes on the stack for the error handler).
+type Handler func(e Errno, info uint16)
+
+// ErrorHandlers is the defineErrorHandler registry. The zero value
+// has the default handler, which ignores errors — the paper's port
+// "simply ignored most errors" because the application was not
+// designed for high reliability.
+type ErrorHandlers struct {
+	mu      sync.Mutex
+	handler Handler
+	raised  []Errno
+}
+
+// Define installs the handler (defineErrorHandler(errfcn)).
+func (h *ErrorHandlers) Define(fn Handler) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.handler = fn
+}
+
+// Raise dispatches an error to the installed handler.
+func (h *ErrorHandlers) Raise(e Errno, info uint16) {
+	h.mu.Lock()
+	fn := h.handler
+	h.raised = append(h.raised, e)
+	h.mu.Unlock()
+	if fn != nil {
+		fn(e, info)
+	}
+}
+
+// Raised returns the errors raised so far (diagnostics).
+func (h *ErrorHandlers) Raised() []Errno {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Errno(nil), h.raised...)
+}
+
+// --- millisecond timer ---------------------------------------------------------
+
+// MsTimer is the MS_TIMER replacement: a monotonic millisecond counter
+// from an arbitrary epoch, used to implement protocol timeouts.
+type MsTimer struct {
+	epoch time.Time
+}
+
+// NewMsTimer starts a timer at 0.
+func NewMsTimer() *MsTimer { return &MsTimer{epoch: time.Now()} }
+
+// Now returns elapsed milliseconds since the epoch.
+func (t *MsTimer) Now() uint32 {
+	return uint32(time.Since(t.epoch) / time.Millisecond)
+}
+
+// Expired reports whether the deadline (a Now() value) has passed,
+// using wraparound-safe comparison like MS_TIMER code must.
+func (t *MsTimer) Expired(deadline uint32) bool {
+	return int32(t.Now()-deadline) >= 0
+}
+
+// --- shared / protected variables -----------------------------------------------
+
+// SharedUint32 models a `shared` multibyte variable: updates are
+// atomic with respect to interrupt handlers (Dynamic C disables
+// interrupts around the store).
+type SharedUint32 struct {
+	mu sync.Mutex
+	v  uint32
+}
+
+// Load returns the value atomically.
+func (s *SharedUint32) Load() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v
+}
+
+// Store sets the value atomically.
+func (s *SharedUint32) Store(v uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v = v
+}
+
+// Add increments atomically and returns the new value.
+func (s *SharedUint32) Add(d uint32) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v += d
+	return s.v
+}
+
+// BatteryRAM models the battery-backed SRAM region `protected`
+// variables are mirrored into. It survives Reset of the program state.
+type BatteryRAM struct {
+	mu    sync.Mutex
+	cells map[string][]byte
+}
+
+// NewBatteryRAM creates an empty battery-backed store.
+func NewBatteryRAM() *BatteryRAM { return &BatteryRAM{cells: map[string][]byte{}} }
+
+// ProtectedInt is a `protected int`: every modification first copies
+// the old value to battery RAM, and Restore (the _sysIsSoftReset path)
+// brings the last committed value back after a reset.
+type ProtectedInt struct {
+	ram  *BatteryRAM
+	name string
+	v    int
+}
+
+// NewProtectedInt declares a protected variable backed by ram.
+func NewProtectedInt(ram *BatteryRAM, name string, initial int) *ProtectedInt {
+	p := &ProtectedInt{ram: ram, name: name, v: initial}
+	p.commit()
+	return p
+}
+
+func (p *ProtectedInt) commit() {
+	b := []byte{byte(p.v >> 24), byte(p.v >> 16), byte(p.v >> 8), byte(p.v)}
+	p.ram.mu.Lock()
+	p.ram.cells[p.name] = b
+	p.ram.mu.Unlock()
+}
+
+// Get returns the current value.
+func (p *ProtectedInt) Get() int { return p.v }
+
+// Set updates the value, committing to battery RAM first.
+func (p *ProtectedInt) Set(v int) {
+	p.commit() // old value saved before modification
+	p.v = v
+	p.commit()
+}
+
+// Restore reloads the last committed value (after a soft reset).
+func (p *ProtectedInt) Restore() {
+	p.ram.mu.Lock()
+	b, ok := p.ram.cells[p.name]
+	p.ram.mu.Unlock()
+	if ok && len(b) == 4 {
+		// Decode through int32 so negative values sign-extend correctly.
+		v := int32(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+		p.v = int(v)
+	}
+}
+
+// Corrupt models losing working memory (the reason protected exists):
+// it scrambles the in-memory value without touching battery RAM.
+func (p *ProtectedInt) Corrupt() { p.v = -0x55555556 }

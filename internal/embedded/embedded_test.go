@@ -1,0 +1,270 @@
+package embedded
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestXAllocBumpAndExhaustion(t *testing.T) {
+	x := NewXAlloc(100)
+	a, err := x.Alloc(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 60 || x.Remaining() != 40 {
+		t.Errorf("size=%d remaining=%d", a.Size(), x.Remaining())
+	}
+	if _, err := x.Alloc(41); !errors.Is(err, ErrOutOfXMem) {
+		t.Errorf("over-allocation error = %v", err)
+	}
+	b, err := x.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Remaining() != 0 {
+		t.Errorf("remaining = %d", x.Remaining())
+	}
+	_ = b
+}
+
+func TestXAllocNoAliasing(t *testing.T) {
+	x := NewXAlloc(64)
+	a, _ := x.Alloc(32)
+	b, _ := x.Alloc(32)
+	if err := a.Write(0, []byte("AAAA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(0, []byte("BBBB")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	a.Read(0, buf)
+	if string(buf) != "AAAA" {
+		t.Errorf("a = %q after writing b", buf)
+	}
+}
+
+func TestXPtrBounds(t *testing.T) {
+	x := NewXAlloc(16)
+	p, _ := x.Alloc(8)
+	if err := p.Write(6, []byte("xyz")); err == nil {
+		t.Error("out-of-bounds write accepted")
+	}
+	if err := p.Read(-1, make([]byte, 1)); err == nil {
+		t.Error("negative-offset read accepted")
+	}
+	var zero XPtr
+	if err := zero.Write(0, []byte{1}); err == nil {
+		t.Error("write through zero handle accepted")
+	}
+}
+
+func TestXAllocRejectsSillySizes(t *testing.T) {
+	x := NewXAlloc(16)
+	if _, err := x.Alloc(0); err == nil {
+		t.Error("zero-byte alloc accepted")
+	}
+	if _, err := x.Alloc(-5); err == nil {
+		t.Error("negative alloc accepted")
+	}
+}
+
+func TestXAllocReset(t *testing.T) {
+	x := NewXAlloc(16)
+	p, _ := x.Alloc(16)
+	p.Write(0, []byte("secret"))
+	x.Reset()
+	if x.Remaining() != 16 {
+		t.Errorf("remaining after reset = %d", x.Remaining())
+	}
+	q, _ := x.Alloc(6)
+	buf := make([]byte, 6)
+	q.Read(0, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Error("reset did not scrub arena")
+			break
+		}
+	}
+}
+
+func TestCircularLogEviction(t *testing.T) {
+	l := NewCircularLog(3)
+	for i := 1; i <= 5; i++ {
+		l.Printf("entry %d", i)
+	}
+	got := l.Entries()
+	want := []string{"entry 3", "entry 4", "entry 5"}
+	if len(got) != 3 {
+		t.Fatalf("retained %d entries", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if l.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", l.Dropped())
+	}
+}
+
+func TestCircularLogPartialFill(t *testing.T) {
+	l := NewCircularLog(10)
+	l.Printf("only")
+	if l.Len() != 1 || l.Entries()[0] != "only" {
+		t.Errorf("entries = %v", l.Entries())
+	}
+	if l.Dropped() != 0 {
+		t.Error("dropped nonzero before wrap")
+	}
+}
+
+// Property: the log never retains more than its capacity and always
+// keeps the most recent entries.
+func TestCircularLogProperty(t *testing.T) {
+	f := func(nRaw uint8, count uint8) bool {
+		n := int(nRaw%10) + 1
+		l := NewCircularLog(n)
+		for i := 0; i < int(count); i++ {
+			l.Printf("%d", i)
+		}
+		e := l.Entries()
+		if len(e) > n {
+			return false
+		}
+		if int(count) > 0 && len(e) > 0 && e[len(e)-1] != itoa(int(count)-1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestErrorHandlerDispatch(t *testing.T) {
+	var h ErrorHandlers
+	var got Errno
+	var gotInfo uint16
+	h.Define(func(e Errno, info uint16) { got, gotInfo = e, info })
+	h.Raise(ErrDivideByZero, 0xbeef)
+	if got != ErrDivideByZero || gotInfo != 0xbeef {
+		t.Errorf("handler got (%v, %#x)", got, gotInfo)
+	}
+	if len(h.Raised()) != 1 {
+		t.Errorf("raised log = %v", h.Raised())
+	}
+}
+
+func TestErrorHandlerDefaultIgnores(t *testing.T) {
+	var h ErrorHandlers
+	h.Raise(ErrStackOverflow, 0) // must not panic
+	if len(h.Raised()) != 1 {
+		t.Error("raise not recorded")
+	}
+}
+
+func TestErrnoStrings(t *testing.T) {
+	if ErrDivideByZero.String() != "divide-by-zero" {
+		t.Errorf("String = %q", ErrDivideByZero.String())
+	}
+	if Errno(99).String() != "errno(99)" {
+		t.Errorf("unknown errno = %q", Errno(99).String())
+	}
+}
+
+func TestMsTimerMonotonic(t *testing.T) {
+	mt := NewMsTimer()
+	a := mt.Now()
+	time.Sleep(30 * time.Millisecond)
+	b := mt.Now()
+	if b < a+20 {
+		t.Errorf("timer advanced %d ms over a 30ms sleep", b-a)
+	}
+}
+
+func TestMsTimerExpired(t *testing.T) {
+	mt := NewMsTimer()
+	if mt.Expired(mt.Now() + 1000) {
+		t.Error("future deadline reported expired")
+	}
+	if !mt.Expired(mt.Now()) {
+		t.Error("current deadline not expired")
+	}
+	// Wraparound-safe: a deadline "just behind" even across wrap.
+	if !mt.Expired(mt.Now() - 10) {
+		t.Error("past deadline not expired")
+	}
+}
+
+func TestSharedUint32(t *testing.T) {
+	var s SharedUint32
+	s.Store(41)
+	if s.Add(1) != 42 || s.Load() != 42 {
+		t.Error("shared arithmetic wrong")
+	}
+	// Hammer from multiple goroutines; total must be exact.
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				s.Add(1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if s.Load() != 42+8000 {
+		t.Errorf("after concurrent adds: %d", s.Load())
+	}
+}
+
+func TestProtectedIntSurvivesReset(t *testing.T) {
+	ram := NewBatteryRAM()
+	p := NewProtectedInt(ram, "state1", 7)
+	p.Set(1234)
+	p.Corrupt()
+	if p.Get() == 1234 {
+		t.Fatal("corrupt did nothing")
+	}
+	p.Restore()
+	if p.Get() != 1234 {
+		t.Errorf("restored value = %d, want 1234", p.Get())
+	}
+}
+
+func TestProtectedIntInitialCommit(t *testing.T) {
+	ram := NewBatteryRAM()
+	p := NewProtectedInt(ram, "x", 99)
+	p.Corrupt()
+	p.Restore()
+	if p.Get() != 99 {
+		t.Errorf("restore before any Set = %d, want 99", p.Get())
+	}
+}
+
+func TestProtectedIntNegativeValues(t *testing.T) {
+	ram := NewBatteryRAM()
+	p := NewProtectedInt(ram, "neg", -12345)
+	p.Corrupt()
+	p.Restore()
+	if p.Get() != -12345 {
+		t.Errorf("negative restore = %d", p.Get())
+	}
+}

@@ -1,0 +1,53 @@
+package embedded
+
+import "sync"
+
+// FuncChain models Dynamic C's function chaining (§4.4 of the paper):
+//
+//	#makechain recover
+//	#funcchain recover free_memory
+//	#funcchain recover declare_memory
+//	#funcchain recover initialize
+//	recover();   // invokes all segments
+//
+// "Invoking a named function chain causes all the segments belonging
+// to that chain to execute. Such chains enable initialization, data
+// recovery, or other kinds of tasks on request." The paper's port did
+// not use the feature; it is provided for completeness of the Dynamic
+// C environment model.
+type FuncChain struct {
+	name string
+	mu   sync.Mutex
+	segs []func()
+}
+
+// MakeChain creates an empty named chain (#makechain).
+func MakeChain(name string) *FuncChain { return &FuncChain{name: name} }
+
+// Name returns the chain's name.
+func (c *FuncChain) Name() string { return c.name }
+
+// Add appends a segment (#funcchain NAME fn). Segments run in the
+// order added.
+func (c *FuncChain) Add(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.segs = append(c.segs, fn)
+}
+
+// Len returns the number of segments.
+func (c *FuncChain) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.segs)
+}
+
+// Invoke runs every segment in order (calling the chain by name).
+func (c *FuncChain) Invoke() {
+	c.mu.Lock()
+	segs := append([]func(){}, c.segs...)
+	c.mu.Unlock()
+	for _, fn := range segs {
+		fn()
+	}
+}

@@ -1,0 +1,143 @@
+package issl
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/crypto/aes"
+	"repro/internal/crypto/prng"
+)
+
+// Conn is an established secure connection. It implements
+// io.ReadWriteCloser; Read and Write are the "secure read/writes"
+// the issl API layered over a bound socket. One concurrent reader and
+// one concurrent writer are supported (each direction has independent
+// cipher state); multiple concurrent readers or writers are not.
+type Conn struct {
+	tr  io.ReadWriter
+	cfg Config
+	rng *prng.Xorshift
+	hs  handshakeState
+
+	master []byte
+
+	wMu     sync.Mutex // guards write-side state and the rng
+	wCipher *aes.Cipher
+	rCipher *aes.Cipher
+	wMAC    []byte
+	rMAC    []byte
+	wSeq    uint64
+	rSeq    uint64
+
+	rbuf      []byte // decrypted-but-undelivered plaintext
+	peerClose bool
+	closed    atomic.Bool
+
+	sessionID [SessionIDLen]byte
+	resumed   bool
+
+	// Stats observable by benchmarks and tests.
+	bytesIn, bytesOut     uint64
+	recordsIn, recordsOut uint64
+}
+
+func newConn(tr io.ReadWriter, cfg Config) *Conn {
+	return &Conn{tr: tr, cfg: cfg, rng: cfg.Rand}
+}
+
+// Profile returns the negotiated profile.
+func (c *Conn) Profile() Profile { return c.cfg.Profile }
+
+// CipherInfo returns the negotiated key and block sizes in bits.
+func (c *Conn) CipherInfo() (keyBits, blockBits int) {
+	return c.cfg.KeyBits, c.cfg.BlockBits
+}
+
+// Stats returns plaintext byte and record counters for both directions.
+func (c *Conn) Stats() (bytesIn, bytesOut, recordsIn, recordsOut uint64) {
+	return c.bytesIn, c.bytesOut, c.recordsIn, c.recordsOut
+}
+
+// Write encrypts and sends data, fragmenting into records no larger
+// than the profile's limit (the embedded port's static buffers).
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.closed.Load() {
+		return 0, ErrClosed
+	}
+	c.wMu.Lock()
+	defer c.wMu.Unlock()
+	maxRec := c.cfg.maxRecord()
+	written := 0
+	for written < len(p) {
+		n := len(p) - written
+		if n > maxRec {
+			n = maxRec
+		}
+		sealed, err := c.sealRecord(recData, p[written:written+n])
+		if err != nil {
+			return written, err
+		}
+		if err := c.writeRecord(recData, sealed); err != nil {
+			return written, err
+		}
+		written += n
+		c.bytesOut += uint64(n)
+		c.recordsOut++
+	}
+	return written, nil
+}
+
+// Read returns decrypted plaintext, blocking for at least one byte.
+// It returns io.EOF after the peer's close_notify.
+func (c *Conn) Read(p []byte) (int, error) {
+	for len(c.rbuf) == 0 {
+		if c.peerClose {
+			return 0, io.EOF
+		}
+		recType, body, err := c.readRecord()
+		if err != nil {
+			return 0, err
+		}
+		switch recType {
+		case recData:
+			pt, err := c.openRecord(recData, body)
+			if err != nil {
+				return 0, err
+			}
+			if len(pt) > c.cfg.maxRecord() {
+				// A peer sent more than our static buffers can take.
+				return 0, fmt.Errorf("%w: %d > %d", ErrRecordTooBig, len(pt), c.cfg.maxRecord())
+			}
+			c.rbuf = append(c.rbuf, pt...)
+			c.bytesIn += uint64(len(pt))
+			c.recordsIn++
+		case recClose:
+			if _, err := c.openRecord(recClose, body); err != nil {
+				return 0, err
+			}
+			c.peerClose = true
+		default:
+			return 0, fmt.Errorf("%w: unexpected record type %#x", ErrBadRecord, recType)
+		}
+	}
+	n := copy(p, c.rbuf)
+	c.rbuf = c.rbuf[n:]
+	return n, nil
+}
+
+// Close sends an authenticated close_notify and marks the connection
+// done. The underlying transport is not closed; the caller owns it.
+func (c *Conn) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	c.wMu.Lock()
+	defer c.wMu.Unlock()
+	sealed, err := c.sealRecord(recClose, []byte{0})
+	if err != nil {
+		return err
+	}
+	return c.writeRecord(recClose, sealed)
+}

@@ -1,0 +1,403 @@
+package issl
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/crypto/bignum"
+	"repro/internal/crypto/rsa"
+	"repro/internal/crypto/sha1"
+)
+
+// Handshake messages (bodies of recHandshake records):
+//
+//	ClientHello:  0x01 profile keyBits/8 blockBits/8 clientRandom(32)
+//	              sidLen(1) [sessionID(16)]
+//	ServerHello:  0x02 profile keyBits/8 blockBits/8 serverRandom(32)
+//	              resumed(1) sidLen(1) [sessionID(16)]
+//	              [Unix full handshake: eLen(2) e nLen(2) n]
+//	KeyExchange:  0x03 [Unix: ctLen(2) rsaCiphertext] [Embedded: empty]
+//	              (omitted entirely on resumption)
+//	Finished:     0x04 verify(20)   — first message under the new keys
+//
+// Key schedule: master = HMAC(premaster, "master"||cr||sr); per
+// direction, writeKey = expand(master, "c key"/"s key")[:keyBytes] and
+// macKey = HMAC(master, "c mac"/"s mac"). The Finished verify value is
+// HMAC(master, label || SHA1(transcript)), label distinguishing the
+// two directions, so a tampered handshake cannot converge.
+
+const (
+	msgClientHello = 0x01
+	msgServerHello = 0x02
+	msgKeyExchange = 0x03
+	msgFinished    = 0x04
+)
+
+const randomLen = 32
+
+// premasterLen is the session secret length the client generates.
+const premasterLen = 32
+
+type handshakeState struct {
+	transcript   bytes.Buffer
+	clientRandom [randomLen]byte
+	serverRandom [randomLen]byte
+	premaster    []byte
+}
+
+func (c *Conn) sendHandshake(body []byte) error {
+	c.hs.transcript.Write(body)
+	return c.writeRecord(recHandshake, body)
+}
+
+func (c *Conn) readHandshake(wantType byte) ([]byte, error) {
+	recType, body, err := c.readRecord()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if recType != recHandshake || len(body) == 0 {
+		return nil, fmt.Errorf("%w: unexpected record type %#x", ErrHandshake, recType)
+	}
+	if body[0] != wantType {
+		return nil, fmt.Errorf("%w: got message %#x, want %#x", ErrHandshake, body[0], wantType)
+	}
+	c.hs.transcript.Write(body)
+	return body, nil
+}
+
+func bitsByte(bits int) byte { return byte(bits / 8) }
+
+// --- client ------------------------------------------------------------------
+
+func (c *Conn) clientHandshake() error {
+	cfg := &c.cfg
+	c.rng.Fill(c.hs.clientRandom[:])
+
+	hello := []byte{msgClientHello, byte(cfg.Profile), bitsByte(cfg.KeyBits), bitsByte(cfg.BlockBits)}
+	hello = append(hello, c.hs.clientRandom[:]...)
+	if cfg.Resume != nil {
+		hello = append(hello, SessionIDLen)
+		hello = append(hello, cfg.Resume.ID[:]...)
+	} else {
+		hello = append(hello, 0)
+	}
+	if err := c.sendHandshake(hello); err != nil {
+		return fmt.Errorf("%w: sending ClientHello: %v", ErrHandshake, err)
+	}
+
+	sh, err := c.readHandshake(msgServerHello)
+	if err != nil {
+		return err
+	}
+	if len(sh) < 4+randomLen+2 {
+		return fmt.Errorf("%w: short ServerHello", ErrHandshake)
+	}
+	if Profile(sh[1]) != cfg.Profile {
+		return fmt.Errorf("%w: client %s vs server %s", ErrProfileMismatch, cfg.Profile, Profile(sh[1]))
+	}
+	if int(sh[2])*8 != cfg.KeyBits || int(sh[3])*8 != cfg.BlockBits {
+		return fmt.Errorf("%w: server negotiated %d/%d, client wanted %d/%d",
+			ErrHandshake, int(sh[2])*8, int(sh[3])*8, cfg.KeyBits, cfg.BlockBits)
+	}
+	copy(c.hs.serverRandom[:], sh[4:4+randomLen])
+	rest := sh[4+randomLen:]
+	resumedFlag := rest[0] == 1
+	sidLen := int(rest[1])
+	rest = rest[2:]
+	if sidLen > 0 {
+		if sidLen != SessionIDLen || len(rest) < sidLen {
+			return fmt.Errorf("%w: bad session id", ErrHandshake)
+		}
+		copy(c.sessionID[:], rest[:sidLen])
+		rest = rest[sidLen:]
+	}
+	if resumedFlag {
+		if cfg.Resume == nil || c.sessionID != cfg.Resume.ID {
+			return fmt.Errorf("%w: server resumed a session we did not offer", ErrHandshake)
+		}
+		// Abbreviated handshake: no KeyExchange; fresh keys derive
+		// from the cached master secret plus the new nonces.
+		c.resumed = true
+		c.hs.premaster = append([]byte(nil), cfg.Resume.master...)
+		if err := c.deriveKeys(true); err != nil {
+			return err
+		}
+		if err := c.sendFinished("client finished"); err != nil {
+			return err
+		}
+		return c.recvFinished("server finished")
+	}
+
+	var keyExchange []byte
+	switch cfg.Profile {
+	case ProfileUnix:
+		pub, err := parsePublicKey(rest)
+		if err != nil {
+			return err
+		}
+		c.hs.premaster = c.rng.Bytes(premasterLen)
+		ct, err := pub.EncryptPKCS1(c.rng, c.hs.premaster)
+		if err != nil {
+			return fmt.Errorf("%w: RSA encrypt: %v", ErrHandshake, err)
+		}
+		keyExchange = []byte{msgKeyExchange, byte(len(ct) >> 8), byte(len(ct))}
+		keyExchange = append(keyExchange, ct...)
+	case ProfileEmbedded:
+		// RSA was dropped in the port; the premaster is the PSK.
+		c.hs.premaster = append([]byte(nil), cfg.PSK...)
+		keyExchange = []byte{msgKeyExchange}
+	}
+	if err := c.sendHandshake(keyExchange); err != nil {
+		return fmt.Errorf("%w: sending KeyExchange: %v", ErrHandshake, err)
+	}
+
+	if err := c.deriveKeys(true); err != nil {
+		return err
+	}
+	// Client speaks first under the new keys.
+	if err := c.sendFinished("client finished"); err != nil {
+		return err
+	}
+	return c.recvFinished("server finished")
+}
+
+// --- server ------------------------------------------------------------------
+
+func (c *Conn) serverHandshake() error {
+	cfg := &c.cfg
+	ch, err := c.readHandshake(msgClientHello)
+	if err != nil {
+		return err
+	}
+	if len(ch) < 4+randomLen+1 {
+		return fmt.Errorf("%w: short ClientHello", ErrHandshake)
+	}
+	if Profile(ch[1]) != cfg.Profile {
+		return fmt.Errorf("%w: server %s vs client %s", ErrProfileMismatch, cfg.Profile, Profile(ch[1]))
+	}
+	wantKey, wantBlock := int(ch[2])*8, int(ch[3])*8
+	if cfg.Profile == ProfileEmbedded && (wantKey != 128 || wantBlock != 128) {
+		// The port's static buffers cannot hold other sizes.
+		return fmt.Errorf("%w: embedded server supports only 128/128, client asked %d/%d",
+			ErrHandshake, wantKey, wantBlock)
+	}
+	if !validBits(wantKey) || !validBits(wantBlock) {
+		return fmt.Errorf("%w: client asked %d/%d", ErrHandshake, wantKey, wantBlock)
+	}
+	// The server accedes to the client's cipher geometry (the library
+	// trusts both ends were configured alike; issl had no downgrade
+	// negotiation to speak of).
+	cfg.KeyBits, cfg.BlockBits = wantKey, wantBlock
+	copy(c.hs.clientRandom[:], ch[4:4+randomLen])
+
+	// Did the client offer a session we still have cached?
+	var offered [SessionIDLen]byte
+	offeredSession := false
+	tail := ch[4+randomLen:]
+	if sidLen := int(tail[0]); sidLen == SessionIDLen && len(tail) >= 1+sidLen {
+		copy(offered[:], tail[1:1+sidLen])
+		offeredSession = true
+	}
+	var cachedMaster []byte
+	if offeredSession && cfg.Cache != nil {
+		cachedMaster, _ = cfg.Cache.get(offered)
+	}
+
+	c.rng.Fill(c.hs.serverRandom[:])
+	hello := []byte{msgServerHello, byte(cfg.Profile), bitsByte(cfg.KeyBits), bitsByte(cfg.BlockBits)}
+	hello = append(hello, c.hs.serverRandom[:]...)
+	if cachedMaster != nil {
+		// Abbreviated handshake (Goldberg et al. session-key caching).
+		c.resumed = true
+		c.sessionID = offered
+		hello = append(hello, 1, SessionIDLen)
+		hello = append(hello, offered[:]...)
+		if err := c.sendHandshake(hello); err != nil {
+			return fmt.Errorf("%w: sending ServerHello: %v", ErrHandshake, err)
+		}
+		c.hs.premaster = cachedMaster
+		if err := c.deriveKeys(false); err != nil {
+			return err
+		}
+		if err := c.recvFinished("client finished"); err != nil {
+			return err
+		}
+		return c.sendFinished("server finished")
+	}
+	hello = append(hello, 0)
+	if cfg.Cache != nil {
+		c.rng.Fill(c.sessionID[:])
+		hello = append(hello, SessionIDLen)
+		hello = append(hello, c.sessionID[:]...)
+	} else {
+		hello = append(hello, 0)
+	}
+	if cfg.Profile == ProfileUnix {
+		hello = append(hello, marshalPublicKey(&cfg.ServerKey.PublicKey)...)
+	}
+	if err := c.sendHandshake(hello); err != nil {
+		return fmt.Errorf("%w: sending ServerHello: %v", ErrHandshake, err)
+	}
+
+	kx, err := c.readHandshake(msgKeyExchange)
+	if err != nil {
+		return err
+	}
+	switch cfg.Profile {
+	case ProfileUnix:
+		if len(kx) < 3 {
+			return fmt.Errorf("%w: short KeyExchange", ErrHandshake)
+		}
+		n := int(kx[1])<<8 | int(kx[2])
+		if len(kx) != 3+n {
+			return fmt.Errorf("%w: KeyExchange length mismatch", ErrHandshake)
+		}
+		pm, err := cfg.ServerKey.DecryptPKCS1(kx[3:])
+		if err != nil {
+			return fmt.Errorf("%w: RSA decrypt: %v", ErrHandshake, err)
+		}
+		if len(pm) != premasterLen {
+			return fmt.Errorf("%w: premaster length %d", ErrHandshake, len(pm))
+		}
+		c.hs.premaster = pm
+	case ProfileEmbedded:
+		c.hs.premaster = append([]byte(nil), cfg.PSK...)
+	}
+
+	if err := c.deriveKeys(false); err != nil {
+		return err
+	}
+	if cfg.Cache != nil {
+		cfg.Cache.put(c.sessionID, c.master)
+	}
+	if err := c.recvFinished("client finished"); err != nil {
+		return err
+	}
+	return c.sendFinished("server finished")
+}
+
+// --- key schedule ---------------------------------------------------------------
+
+// deriveKeys computes the master secret and installs directional
+// cipher/MAC state. isClient orients write vs read keys.
+func (c *Conn) deriveKeys(isClient bool) error {
+	seed := make([]byte, 0, len("master")+2*randomLen)
+	seed = append(seed, "master"...)
+	seed = append(seed, c.hs.clientRandom[:]...)
+	seed = append(seed, c.hs.serverRandom[:]...)
+	master := sha1.HMAC(c.hs.premaster, seed)
+	c.master = master[:]
+
+	keyBytes := c.cfg.KeyBits / 8
+	cKey := expand(c.master, "c key", keyBytes)
+	sKey := expand(c.master, "s key", keyBytes)
+	cMAC := expand(c.master, "c mac", sha1.Size)
+	sMAC := expand(c.master, "s mac", sha1.Size)
+
+	cCipher, err := cipherFor(cKey, c.cfg.BlockBits)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	sCipher, err := cipherFor(sKey, c.cfg.BlockBits)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if isClient {
+		c.wCipher, c.wMAC = cCipher, cMAC
+		c.rCipher, c.rMAC = sCipher, sMAC
+	} else {
+		c.wCipher, c.wMAC = sCipher, sMAC
+		c.rCipher, c.rMAC = cCipher, cMAC
+	}
+	return nil
+}
+
+// expand derives n bytes of key material from the master secret.
+func expand(master []byte, label string, n int) []byte {
+	out := make([]byte, 0, n)
+	counter := byte(0)
+	for len(out) < n {
+		block := sha1.HMAC(master, append([]byte(label), counter))
+		out = append(out, block[:]...)
+		counter++
+	}
+	return out[:n]
+}
+
+// --- finished -------------------------------------------------------------------
+
+func (c *Conn) verifyData(label string) []byte {
+	digest := sha1.Sum1(c.hs.transcript.Bytes())
+	v := sha1.HMAC(c.master, append([]byte(label), digest[:]...))
+	return v[:]
+}
+
+func (c *Conn) sendFinished(label string) error {
+	body := append([]byte{msgFinished}, c.verifyData(label)...)
+	sealed, err := c.sealRecord(recHandshake, body)
+	if err != nil {
+		return fmt.Errorf("%w: sealing Finished: %v", ErrHandshake, err)
+	}
+	if err := c.writeRecord(recHandshake, sealed); err != nil {
+		return fmt.Errorf("%w: sending Finished: %v", ErrHandshake, err)
+	}
+	c.hs.transcript.Write(body)
+	return nil
+}
+
+func (c *Conn) recvFinished(label string) error {
+	recType, body, err := c.readRecord()
+	if err != nil {
+		return fmt.Errorf("%w: reading Finished: %v", ErrHandshake, err)
+	}
+	if recType != recHandshake {
+		return fmt.Errorf("%w: expected Finished, got record %#x", ErrHandshake, recType)
+	}
+	pt, err := c.openRecord(recHandshake, body)
+	if err != nil {
+		return fmt.Errorf("%w: opening Finished: %v", ErrHandshake, err)
+	}
+	if len(pt) != 1+sha1.Size || pt[0] != msgFinished {
+		return fmt.Errorf("%w: malformed Finished", ErrHandshake)
+	}
+	want := c.verifyData(label)
+	if !constEq(pt[1:], want) {
+		return fmt.Errorf("%w: Finished verify mismatch", ErrHandshake)
+	}
+	c.hs.transcript.Write(pt)
+	return nil
+}
+
+// --- RSA key wire format ----------------------------------------------------------
+
+func marshalPublicKey(pub *rsa.PublicKey) []byte {
+	e := pub.E.Bytes()
+	n := pub.N.Bytes()
+	out := make([]byte, 0, 4+len(e)+len(n))
+	out = append(out, byte(len(e)>>8), byte(len(e)))
+	out = append(out, e...)
+	out = append(out, byte(len(n)>>8), byte(len(n)))
+	out = append(out, n...)
+	return out
+}
+
+func parsePublicKey(b []byte) (*rsa.PublicKey, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("%w: missing server key", ErrHandshake)
+	}
+	eLen := int(b[0])<<8 | int(b[1])
+	if len(b) < 2+eLen+2 {
+		return nil, fmt.Errorf("%w: truncated server key", ErrHandshake)
+	}
+	e := b[2 : 2+eLen]
+	rest := b[2+eLen:]
+	nLen := int(rest[0])<<8 | int(rest[1])
+	if len(rest) < 2+nLen {
+		return nil, fmt.Errorf("%w: truncated server modulus", ErrHandshake)
+	}
+	n := rest[2 : 2+nLen]
+	return &rsa.PublicKey{
+		N: bignum.FromBytes(n),
+		E: bignum.FromBytes(e),
+	}, nil
+}

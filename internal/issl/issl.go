@@ -1,0 +1,191 @@
+// Package issl reproduces the paper's subject: a public-domain
+// SSL/TLS-style library that "layers on top of the Unix sockets layer
+// to provide secure point-to-point communications. After a normal
+// unencrypted socket is created, the issl API allows a user to bind to
+// the socket and then do secure read/writes on it" (§2).
+//
+// Two profiles capture the before/after of the port:
+//
+//   - ProfileUnix — the original library: RSA session-key exchange
+//     (over the from-scratch bignum package), every Rijndael key and
+//     block size (128/192/256 on both axes), dynamic buffers, logging
+//     to any destination.
+//   - ProfileEmbedded — the RMC2000 port: RSA dropped ("a
+//     difficult-to-port bignum package"), key exchange replaced by a
+//     pre-shared key, AES fixed at 128-bit key and block (the static
+//     allocation consequence of xalloc having no free), bounded record
+//     size, circular-buffer logging.
+//
+// The wire protocol is a compact SSL-like layered design: a record
+// layer (CBC encryption + truncated HMAC-SHA1, per-direction sequence
+// numbers, encrypt-then-MAC) under a four-message handshake
+// (ClientHello, ServerHello, KeyExchange, Finished) with a transcript
+// digest binding.
+package issl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/crypto/aes"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+)
+
+// Profile selects the library configuration.
+type Profile int
+
+// Profiles.
+const (
+	// ProfileUnix is the full library as found on the workstation.
+	ProfileUnix Profile = iota
+	// ProfileEmbedded is the RMC2000 port's reduced feature set.
+	ProfileEmbedded
+)
+
+func (p Profile) String() string {
+	if p == ProfileEmbedded {
+		return "embedded"
+	}
+	return "unix"
+}
+
+// Limits that differ between profiles.
+const (
+	// MaxRecordUnix is the plaintext byte limit per record on Unix.
+	MaxRecordUnix = 16384
+	// MaxRecordEmbedded reflects the port's statically allocated
+	// record buffers.
+	MaxRecordEmbedded = 1024
+)
+
+// Logger is the minimal logging interface; the Unix profile points it
+// at anything, the embedded profile at an embedded.CircularLog.
+type Logger interface {
+	Printf(format string, args ...any)
+}
+
+// Config parameterizes a handshake endpoint.
+type Config struct {
+	// Profile selects Unix or Embedded behavior.
+	Profile Profile
+	// KeyBits and BlockBits choose the Rijndael configuration
+	// (128/192/256). The embedded profile forces both to 128 — the
+	// port "dropped support of multiple key and block sizes".
+	KeyBits   int
+	BlockBits int
+	// ServerKey is the server's RSA private key (Unix profile server).
+	ServerKey *rsa.PrivateKey
+	// PSK is the pre-shared master secret (Embedded profile, both ends).
+	PSK []byte
+	// Rand supplies all nonces, IVs and the premaster secret. Required.
+	Rand *prng.Xorshift
+	// Log receives handshake and record-layer events. Optional.
+	Log Logger
+	// Resume offers a cached session for an abbreviated handshake
+	// (client side). The server may decline, falling back to full.
+	Resume *Session
+	// Cache enables session issuance and resumption (server side).
+	Cache *SessionCache
+}
+
+// Errors returned by handshake and record processing.
+var (
+	ErrConfig          = errors.New("issl: invalid configuration")
+	ErrHandshake       = errors.New("issl: handshake failure")
+	ErrBadRecord       = errors.New("issl: malformed record")
+	ErrBadMAC          = errors.New("issl: record authentication failed")
+	ErrRecordTooBig    = errors.New("issl: record exceeds profile limit")
+	ErrProfileMismatch = errors.New("issl: peers negotiated different profiles")
+	ErrClosed          = errors.New("issl: connection closed")
+)
+
+func (c *Config) validate(server bool) error {
+	if c.Rand == nil {
+		return fmt.Errorf("%w: nil Rand", ErrConfig)
+	}
+	switch c.Profile {
+	case ProfileUnix:
+		if c.KeyBits == 0 {
+			c.KeyBits = 128
+		}
+		if c.BlockBits == 0 {
+			c.BlockBits = 128
+		}
+		if !validBits(c.KeyBits) || !validBits(c.BlockBits) {
+			return fmt.Errorf("%w: key %d / block %d bits", ErrConfig, c.KeyBits, c.BlockBits)
+		}
+		if server && c.ServerKey == nil {
+			return fmt.Errorf("%w: Unix server requires ServerKey", ErrConfig)
+		}
+	case ProfileEmbedded:
+		// The port supports exactly one configuration.
+		if c.KeyBits != 0 && c.KeyBits != 128 {
+			return fmt.Errorf("%w: embedded profile is AES-128 only (got %d-bit key)", ErrConfig, c.KeyBits)
+		}
+		if c.BlockBits != 0 && c.BlockBits != 128 {
+			return fmt.Errorf("%w: embedded profile is 128-bit blocks only (got %d)", ErrConfig, c.BlockBits)
+		}
+		c.KeyBits, c.BlockBits = 128, 128
+		if len(c.PSK) == 0 {
+			return fmt.Errorf("%w: embedded profile requires PSK (RSA was dropped in the port)", ErrConfig)
+		}
+	default:
+		return fmt.Errorf("%w: unknown profile %d", ErrConfig, c.Profile)
+	}
+	return nil
+}
+
+func validBits(b int) bool { return b == 128 || b == 192 || b == 256 }
+
+func (c *Config) maxRecord() int {
+	if c.Profile == ProfileEmbedded {
+		return MaxRecordEmbedded
+	}
+	return MaxRecordUnix
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log.Printf(format, args...)
+	}
+}
+
+// BindServer performs the server side of the handshake over transport
+// and returns the secure connection. The name mirrors the issl usage
+// the paper describes: create a plain socket, then bind the library to
+// it.
+func BindServer(transport io.ReadWriter, cfg Config) (*Conn, error) {
+	if err := cfg.validate(true); err != nil {
+		return nil, err
+	}
+	conn := newConn(transport, cfg)
+	if err := conn.serverHandshake(); err != nil {
+		cfg.logf("issl: server handshake failed: %v", err)
+		return nil, err
+	}
+	cfg.logf("issl: server handshake complete (profile=%s key=%d block=%d)",
+		cfg.Profile, cfg.KeyBits, cfg.BlockBits)
+	return conn, nil
+}
+
+// BindClient performs the client side of the handshake.
+func BindClient(transport io.ReadWriter, cfg Config) (*Conn, error) {
+	if err := cfg.validate(false); err != nil {
+		return nil, err
+	}
+	conn := newConn(transport, cfg)
+	if err := conn.clientHandshake(); err != nil {
+		cfg.logf("issl: client handshake failed: %v", err)
+		return nil, err
+	}
+	cfg.logf("issl: client handshake complete (profile=%s key=%d block=%d)",
+		cfg.Profile, cfg.KeyBits, cfg.BlockBits)
+	return conn, nil
+}
+
+// cipherFor builds the negotiated Rijndael instance.
+func cipherFor(key []byte, blockBits int) (*aes.Cipher, error) {
+	return aes.New(key, blockBits/8)
+}

@@ -1,0 +1,131 @@
+package issl
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/crypto/sha1"
+)
+
+// Record layer. Every byte on the wire after the TCP stream starts is
+// a record:
+//
+//	type(1) version(1) length(2) body(length)
+//
+// Handshake records travel in the clear (like SSL's initial null
+// cipher); once Finished messages are exchanged, data records carry
+//
+//	iv(blockSize) ciphertext(...) mac(12)
+//
+// where mac = HMAC-SHA1(macKey, seq64 || type || iv || ct)[:12],
+// encrypt-then-MAC, with an independent sequence counter and key pair
+// per direction.
+
+// Record types.
+const (
+	recHandshake = 0x16 // borrowed from TLS for familiarity
+	recData      = 0x17
+	recClose     = 0x15
+)
+
+// protocolVersion identifies this wire format.
+const protocolVersion = 0x31 // "issl 1"
+
+const macLen = 12
+
+// writeRecord frames and transmits one record body.
+func (c *Conn) writeRecord(recType byte, body []byte) error {
+	if len(body) > 0xffff {
+		return fmt.Errorf("%w: %d bytes", ErrRecordTooBig, len(body))
+	}
+	hdr := []byte{recType, protocolVersion, byte(len(body) >> 8), byte(len(body))}
+	if _, err := c.tr.Write(append(hdr, body...)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// readRecord reads exactly one record, returning its type and body.
+func (c *Conn) readRecord() (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.tr, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[1] != protocolVersion {
+		return 0, nil, fmt.Errorf("%w: version %#x", ErrBadRecord, hdr[1])
+	}
+	n := int(hdr[2])<<8 | int(hdr[3])
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.tr, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated body: %v", ErrBadRecord, err)
+	}
+	return hdr[0], body, nil
+}
+
+// sealRecord encrypts and MACs a data record body.
+func (c *Conn) sealRecord(recType byte, plaintext []byte) ([]byte, error) {
+	bs := c.wCipher.BlockSize()
+	iv := c.rng.Bytes(bs)
+	padded := c.wCipher.Pad(plaintext)
+	ct, err := c.wCipher.EncryptCBC(iv, padded)
+	if err != nil {
+		return nil, err
+	}
+	mac := c.recordMAC(c.wMAC, c.wSeq, recType, iv, ct)
+	c.wSeq++
+	out := make([]byte, 0, len(iv)+len(ct)+macLen)
+	out = append(out, iv...)
+	out = append(out, ct...)
+	out = append(out, mac...)
+	return out, nil
+}
+
+// openRecord verifies and decrypts a data record body.
+func (c *Conn) openRecord(recType byte, body []byte) ([]byte, error) {
+	bs := c.rCipher.BlockSize()
+	if len(body) < bs+macLen || (len(body)-bs-macLen)%bs != 0 {
+		return nil, fmt.Errorf("%w: sealed body length %d", ErrBadRecord, len(body))
+	}
+	iv := body[:bs]
+	ct := body[bs : len(body)-macLen]
+	mac := body[len(body)-macLen:]
+	want := c.recordMAC(c.rMAC, c.rSeq, recType, iv, ct)
+	if !constEq(mac, want) {
+		return nil, ErrBadMAC
+	}
+	c.rSeq++
+	padded, err := c.rCipher.DecryptCBC(iv, ct)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := c.rCipher.Unpad(padded)
+	if err != nil {
+		return nil, fmt.Errorf("%w: padding", ErrBadRecord)
+	}
+	return pt, nil
+}
+
+// recordMAC computes the truncated record MAC.
+func (c *Conn) recordMAC(key []byte, seq uint64, recType byte, iv, ct []byte) []byte {
+	msg := make([]byte, 0, 9+len(iv)+len(ct))
+	for i := 0; i < 8; i++ {
+		msg = append(msg, byte(seq>>(56-8*i)))
+	}
+	msg = append(msg, recType)
+	msg = append(msg, iv...)
+	msg = append(msg, ct...)
+	m := sha1.HMAC(key, msg)
+	return m[:macLen]
+}
+
+// constEq compares MACs in constant time.
+func constEq(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := range a {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}

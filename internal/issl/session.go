@@ -1,0 +1,96 @@
+package issl
+
+import (
+	"sync"
+)
+
+// Session resumption, after Goldberg, Buff & Schmitt — the work the
+// paper cites for SSL's cost ("Secure web server performance using SSL
+// session keys", the [10] of §2): caching the negotiated master secret
+// under a session ID lets a returning client skip the expensive RSA
+// key exchange and jump straight to Finished. The embedded profile
+// benefits too (it skips nothing cryptographically, but halves the
+// handshake's records).
+//
+// Wire format: ClientHello carries an optional session ID; when the
+// server finds it in its cache, ServerHello echoes it with the resumed
+// flag set and both sides derive fresh record keys from the cached
+// master secret plus the new nonces.
+
+// SessionIDLen is the session identifier length in bytes.
+const SessionIDLen = 16
+
+// Session is resumable handshake state, returned by Conn.Session on
+// the client and cached server-side in a SessionCache.
+type Session struct {
+	ID     [SessionIDLen]byte
+	master []byte
+}
+
+// SessionCache is the server's bounded session store. The zero value
+// is unusable; use NewSessionCache.
+type SessionCache struct {
+	mu    sync.Mutex
+	max   int
+	items map[[SessionIDLen]byte][]byte
+	order [][SessionIDLen]byte // FIFO eviction, oldest first
+}
+
+// NewSessionCache creates a cache bounded to max sessions (min 1).
+func NewSessionCache(max int) *SessionCache {
+	if max < 1 {
+		max = 1
+	}
+	return &SessionCache{max: max, items: map[[SessionIDLen]byte][]byte{}}
+}
+
+// Len returns the number of cached sessions.
+func (c *SessionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *SessionCache) put(id [SessionIDLen]byte, master []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.items[id]; !exists {
+		for len(c.items) >= c.max && len(c.order) > 0 {
+			old := c.order[0]
+			c.order = c.order[1:]
+			delete(c.items, old)
+		}
+		c.order = append(c.order, id)
+	}
+	c.items[id] = append([]byte(nil), master...)
+}
+
+func (c *SessionCache) get(id [SessionIDLen]byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.items[id]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), m...), true
+}
+
+// Remove evicts one session (e.g. after a suspected compromise).
+func (c *SessionCache) Remove(id [SessionIDLen]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.items, id)
+}
+
+// Session returns resumable state after a successful client handshake,
+// or nil when the server issued no session (cache disabled).
+func (c *Conn) Session() *Session {
+	if c.sessionID == ([SessionIDLen]byte{}) {
+		return nil
+	}
+	return &Session{ID: c.sessionID, master: append([]byte(nil), c.master...)}
+}
+
+// Resumed reports whether this connection used an abbreviated
+// handshake.
+func (c *Conn) Resumed() bool { return c.resumed }

@@ -1,0 +1,200 @@
+package issl
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/crypto/prng"
+)
+
+// resumablePair does a full handshake with a server cache and returns
+// the client session plus the shared cache.
+func resumablePair(t *testing.T) (*Session, *SessionCache) {
+	t.Helper()
+	cache := NewSessionCache(16)
+	cliCfg := Config{Profile: ProfileUnix, Rand: prng.NewXorshift(51)}
+	srvCfg := Config{Profile: ProfileUnix, ServerKey: serverKey(t),
+		Rand: prng.NewXorshift(52), Cache: cache}
+	cli, srv := handshakePair(t, cliCfg, srvCfg)
+	if cli.Resumed() || srv.Resumed() {
+		t.Fatal("first handshake claims resumption")
+	}
+	sess := cli.Session()
+	if sess == nil {
+		t.Fatal("no session issued despite server cache")
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache has %d sessions", cache.Len())
+	}
+	return sess, cache
+}
+
+func TestSessionResumptionSkipsRSA(t *testing.T) {
+	sess, cache := resumablePair(t)
+	// Second connection offers the session; handshake must complete
+	// as resumed on both ends and carry data.
+	cliCfg := Config{Profile: ProfileUnix, Rand: prng.NewXorshift(61), Resume: sess}
+	srvCfg := Config{Profile: ProfileUnix, ServerKey: serverKey(t),
+		Rand: prng.NewXorshift(62), Cache: cache}
+	cli, srv := handshakePair(t, cliCfg, srvCfg)
+	if !cli.Resumed() || !srv.Resumed() {
+		t.Errorf("resumed: client=%v server=%v", cli.Resumed(), srv.Resumed())
+	}
+	go srv.Write([]byte("resumed data"))
+	buf := make([]byte, 64)
+	n, err := cli.Read(buf)
+	if err != nil || string(buf[:n]) != "resumed data" {
+		t.Errorf("data after resumption: %q, %v", buf[:n], err)
+	}
+}
+
+func TestResumptionWithEmbeddedProfile(t *testing.T) {
+	cache := NewSessionCache(4)
+	psk := []byte("emb-psk")
+	full := func(resume *Session) (*Conn, *Conn) {
+		cliCfg := Config{Profile: ProfileEmbedded, PSK: psk,
+			Rand: prng.NewXorshift(71), Resume: resume}
+		srvCfg := Config{Profile: ProfileEmbedded, PSK: psk,
+			Rand: prng.NewXorshift(72), Cache: cache}
+		return handshakePairT(t, cliCfg, srvCfg)
+	}
+	cli, _ := full(nil)
+	sess := cli.Session()
+	if sess == nil {
+		t.Fatal("no embedded session issued")
+	}
+	cli2, srv2 := full(sess)
+	if !cli2.Resumed() || !srv2.Resumed() {
+		t.Error("embedded resumption did not engage")
+	}
+}
+
+// handshakePairT is handshakePair for reuse from this file.
+func handshakePairT(t *testing.T, cliCfg, srvCfg Config) (*Conn, *Conn) {
+	return handshakePair(t, cliCfg, srvCfg)
+}
+
+func TestUnknownSessionFallsBackToFull(t *testing.T) {
+	_, cache := resumablePair(t)
+	bogus := &Session{master: []byte("wrong-master-secret")}
+	copy(bogus.ID[:], bytes.Repeat([]byte{0xEE}, SessionIDLen))
+	cliCfg := Config{Profile: ProfileUnix, Rand: prng.NewXorshift(81), Resume: bogus}
+	srvCfg := Config{Profile: ProfileUnix, ServerKey: serverKey(t),
+		Rand: prng.NewXorshift(82), Cache: cache}
+	cli, srv := handshakePair(t, cliCfg, srvCfg)
+	if cli.Resumed() || srv.Resumed() {
+		t.Error("unknown session was resumed")
+	}
+	// Full handshake still works end to end.
+	go srv.Write([]byte("full fallback"))
+	buf := make([]byte, 32)
+	n, err := cli.Read(buf)
+	if err != nil || string(buf[:n]) != "full fallback" {
+		t.Errorf("fallback data: %q %v", buf[:n], err)
+	}
+}
+
+func TestRemovedSessionNotResumed(t *testing.T) {
+	sess, cache := resumablePair(t)
+	cache.Remove(sess.ID)
+	cliCfg := Config{Profile: ProfileUnix, Rand: prng.NewXorshift(91), Resume: sess}
+	srvCfg := Config{Profile: ProfileUnix, ServerKey: serverKey(t),
+		Rand: prng.NewXorshift(92), Cache: cache}
+	cli, _ := handshakePair(t, cliCfg, srvCfg)
+	if cli.Resumed() {
+		t.Error("evicted session was resumed")
+	}
+}
+
+func TestNoCacheNoSession(t *testing.T) {
+	cliCfg, srvCfg := unixConfigs(t, 128, 128)
+	cli, _ := handshakePair(t, cliCfg, srvCfg)
+	if cli.Session() != nil {
+		t.Error("session issued without a server cache")
+	}
+}
+
+func TestSessionCacheEviction(t *testing.T) {
+	c := NewSessionCache(2)
+	mk := func(b byte) [SessionIDLen]byte {
+		var id [SessionIDLen]byte
+		id[0] = b
+		return id
+	}
+	c.put(mk(1), []byte("m1"))
+	c.put(mk(2), []byte("m2"))
+	c.put(mk(3), []byte("m3")) // evicts 1
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if _, ok := c.get(mk(1)); ok {
+		t.Error("oldest session not evicted")
+	}
+	if m, ok := c.get(mk(3)); !ok || string(m) != "m3" {
+		t.Error("newest session missing")
+	}
+	// Updating an existing id must not evict.
+	c.put(mk(2), []byte("m2b"))
+	if c.Len() != 2 {
+		t.Errorf("len after update = %d", c.Len())
+	}
+	if m, _ := c.get(mk(2)); string(m) != "m2b" {
+		t.Error("update lost")
+	}
+}
+
+// TestE9ResumptionSpeedsUpHandshake measures the Goldberg et al.
+// mechanism the paper cites: resumed handshakes skip the RSA operation
+// and should be dramatically cheaper.
+func TestE9ResumptionSpeedsUpHandshake(t *testing.T) {
+	cache := NewSessionCache(16)
+	key := serverKey(t)
+
+	doHandshake := func(resume *Session, seed uint64) (*Conn, time.Duration) {
+		ct, st := pipePair()
+		type res struct {
+			c   *Conn
+			err error
+		}
+		srvCh := make(chan res, 1)
+		go func() {
+			c, err := BindServer(st, Config{Profile: ProfileUnix, ServerKey: key,
+				Rand: prng.NewXorshift(seed + 1), Cache: cache})
+			srvCh <- res{c, err}
+		}()
+		start := time.Now()
+		cli, err := BindClient(ct, Config{Profile: ProfileUnix,
+			Rand: prng.NewXorshift(seed), Resume: resume})
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := <-srvCh; r.err != nil {
+			t.Fatal(r.err)
+		}
+		return cli, elapsed
+	}
+
+	cli, fullTime := doHandshake(nil, 100)
+	sess := cli.Session()
+	if sess == nil {
+		t.Fatal("no session")
+	}
+	// Average a few resumed handshakes.
+	var resumedTotal time.Duration
+	const n = 5
+	for i := 0; i < n; i++ {
+		rc, d := doHandshake(sess, uint64(200+i))
+		if !rc.Resumed() {
+			t.Fatal("handshake not resumed")
+		}
+		resumedTotal += d
+	}
+	resumedAvg := resumedTotal / n
+	t.Logf("E9: full handshake %v, resumed %v (%.1fx faster)",
+		fullTime, resumedAvg, float64(fullTime)/float64(resumedAvg))
+	if resumedAvg >= fullTime {
+		t.Errorf("resumption not faster: full=%v resumed=%v", fullTime, resumedAvg)
+	}
+}

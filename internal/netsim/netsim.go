@@ -1,0 +1,207 @@
+// Package netsim simulates the wire the RMC2000 development kit plugs
+// into: a 10Base-T hub connecting the embedded board to workstation
+// hosts. Frames carry Ethernet-style addressing; the hub repeats every
+// frame to every other port, optionally applying latency and random
+// loss so the TCP layer's retransmission machinery is actually
+// exercised.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/crypto/prng"
+)
+
+// MAC is a six-byte hardware address.
+type MAC [6]byte
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String renders the address in colon-hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// EtherType values used by the stack.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+)
+
+// Frame is an Ethernet-style frame.
+type Frame struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+	Payload   []byte
+}
+
+// Hub is a shared-medium repeater with optional latency and loss.
+// The zero value is not usable; call NewHub.
+type Hub struct {
+	mu      sync.Mutex
+	ports   []*Port
+	latency time.Duration
+	lossPct int // 0..100
+	rng     *prng.Xorshift
+	closed  bool
+
+	// Stats, observable by tests.
+	framesSent    uint64
+	framesDropped uint64
+}
+
+// NewHub creates a hub with no latency or loss.
+func NewHub() *Hub {
+	return &Hub{rng: prng.NewXorshift(1)}
+}
+
+// SetLatency sets one-way frame delivery delay.
+func (h *Hub) SetLatency(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.latency = d
+}
+
+// SetLoss sets percentage frame loss (0–100), deterministic per seed.
+func (h *Hub) SetLoss(pct int, seed uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	h.lossPct = pct
+	h.rng = prng.NewXorshift(seed)
+}
+
+// Stats returns total frames delivered and dropped so far.
+func (h *Hub) Stats() (sent, dropped uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.framesSent, h.framesDropped
+}
+
+// Close shuts down the hub and all attached ports.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	ports := h.ports
+	h.ports = nil
+	h.closed = true
+	h.mu.Unlock()
+	for _, p := range ports {
+		p.close()
+	}
+}
+
+// ErrHubClosed is returned when transmitting through a closed hub.
+var ErrHubClosed = errors.New("netsim: hub closed")
+
+// Port is one attachment point on the hub — a NIC as seen by a host.
+type Port struct {
+	hub   *Hub
+	mac   MAC
+	rx    chan Frame
+	promi bool // promiscuous: receives every frame on the wire
+	once  sync.Once
+}
+
+// rxQueueDepth bounds a port's receive queue; frames beyond it are
+// dropped, as a real NIC's ring buffer would.
+const rxQueueDepth = 256
+
+// Attach adds a port with the given MAC to the hub.
+func (h *Hub) Attach(mac MAC) (*Port, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrHubClosed
+	}
+	for _, p := range h.ports {
+		if p.mac == mac {
+			return nil, fmt.Errorf("netsim: MAC %s already attached", mac)
+		}
+	}
+	p := &Port{hub: h, mac: mac, rx: make(chan Frame, rxQueueDepth)}
+	h.ports = append(h.ports, p)
+	return p, nil
+}
+
+// AttachPromiscuous adds a port that receives every frame on the wire
+// regardless of destination — the hub is a shared medium, so any NIC
+// in promiscuous mode (a sniffer, a protocol analyzer) sees it all.
+func (h *Hub) AttachPromiscuous(mac MAC) (*Port, error) {
+	p, err := h.Attach(mac)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	p.promi = true
+	h.mu.Unlock()
+	return p, nil
+}
+
+// MAC returns the port's hardware address.
+func (p *Port) MAC() MAC { return p.mac }
+
+// Send transmits a frame onto the wire. The source address is forced
+// to the port's own MAC. Delivery is asynchronous.
+func (p *Port) Send(f Frame) error {
+	f.Src = p.mac
+	h := p.hub
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrHubClosed
+	}
+	if h.lossPct > 0 && h.rng.Intn(100) < h.lossPct {
+		h.framesDropped++
+		h.mu.Unlock()
+		return nil // lost on the wire; sender cannot tell
+	}
+	var targets []*Port
+	for _, q := range h.ports {
+		if q == p {
+			continue // hubs do not loop frames back
+		}
+		if f.Dst == Broadcast || f.Dst == q.mac || q.promi {
+			targets = append(targets, q)
+		}
+	}
+	latency := h.latency
+	h.framesSent++
+	h.mu.Unlock()
+
+	deliver := func() {
+		for _, q := range targets {
+			// Copy the payload so receiver and sender never alias.
+			cp := f
+			cp.Payload = append([]byte(nil), f.Payload...)
+			select {
+			case q.rx <- cp:
+			default:
+				h.mu.Lock()
+				h.framesDropped++
+				h.mu.Unlock()
+			}
+		}
+	}
+	if latency > 0 {
+		time.AfterFunc(latency, deliver)
+	} else {
+		deliver()
+	}
+	return nil
+}
+
+// Recv returns the port's receive channel. The channel is closed when
+// the hub shuts down.
+func (p *Port) Recv() <-chan Frame { return p.rx }
+
+func (p *Port) close() { p.once.Do(func() { close(p.rx) }) }

@@ -1,0 +1,234 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func mac(b byte) MAC { return MAC{0, 0, 0, 0, 0, b} }
+
+func recvWithTimeout(t *testing.T, p *Port) Frame {
+	t.Helper()
+	select {
+	case f := <-p.Recv():
+		return f
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for frame")
+		return Frame{}
+	}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	a, err := h.Attach(mac(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Attach(mac(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := h.Attach(mac(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(Frame{Dst: mac(2), EtherType: EtherTypeIPv4, Payload: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	f := recvWithTimeout(t, b)
+	if string(f.Payload) != "hi" || f.Src != mac(1) || f.EtherType != EtherTypeIPv4 {
+		t.Errorf("got frame %+v", f)
+	}
+	select {
+	case f := <-c.Recv():
+		t.Errorf("unicast leaked to third port: %+v", f)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	a, _ := h.Attach(mac(1))
+	b, _ := h.Attach(mac(2))
+	c, _ := h.Attach(mac(3))
+	a.Send(Frame{Dst: Broadcast, Payload: []byte("arp?")})
+	recvWithTimeout(t, b)
+	recvWithTimeout(t, c)
+	select {
+	case <-a.Recv():
+		t.Error("broadcast looped back to sender")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSourceAddressForced(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	a, _ := h.Attach(mac(1))
+	b, _ := h.Attach(mac(2))
+	a.Send(Frame{Dst: mac(2), Src: mac(9) /* spoofed */})
+	f := recvWithTimeout(t, b)
+	if f.Src != mac(1) {
+		t.Errorf("src = %s, want port MAC", f.Src)
+	}
+}
+
+func TestDuplicateMACRejected(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	h.Attach(mac(1))
+	if _, err := h.Attach(mac(1)); err == nil {
+		t.Error("duplicate MAC accepted")
+	}
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	a, _ := h.Attach(mac(1))
+	b, _ := h.Attach(mac(2))
+	buf := []byte("original")
+	a.Send(Frame{Dst: mac(2), Payload: buf})
+	buf[0] = 'X' // mutate after send
+	f := recvWithTimeout(t, b)
+	if string(f.Payload) != "original" {
+		t.Errorf("receiver saw sender's mutation: %q", f.Payload)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	h.SetLatency(60 * time.Millisecond)
+	a, _ := h.Attach(mac(1))
+	b, _ := h.Attach(mac(2))
+	start := time.Now()
+	a.Send(Frame{Dst: mac(2), Payload: []byte("slow")})
+	recvWithTimeout(t, b)
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("frame arrived after %v, expected >=50ms", d)
+	}
+}
+
+func TestTotalLoss(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	h.SetLoss(100, 42)
+	a, _ := h.Attach(mac(1))
+	b, _ := h.Attach(mac(2))
+	for i := 0; i < 10; i++ {
+		a.Send(Frame{Dst: mac(2), Payload: []byte{byte(i)}})
+	}
+	select {
+	case f := <-b.Recv():
+		t.Errorf("frame delivered despite 100%% loss: %+v", f)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, dropped := h.Stats(); dropped != 10 {
+		t.Errorf("dropped = %d, want 10", dropped)
+	}
+}
+
+func TestPartialLossApproximatesRate(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	h.SetLoss(30, 7)
+	a, _ := h.Attach(mac(1))
+	b, _ := h.Attach(mac(2))
+	const n = 2000
+	counted := make(chan int)
+	go func() {
+		got := 0
+		for {
+			select {
+			case <-b.Recv():
+				got++
+			case <-time.After(200 * time.Millisecond):
+				counted <- got
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		a.Send(Frame{Dst: mac(2)})
+		if i%100 == 99 {
+			time.Sleep(time.Millisecond) // let the drain goroutine run
+		}
+	}
+	got := <-counted
+	if got < n*60/100 || got > n*80/100 {
+		t.Errorf("delivered %d of %d at 30%% loss", got, n)
+	}
+}
+
+func TestClosedHubRejectsTraffic(t *testing.T) {
+	h := NewHub()
+	a, _ := h.Attach(mac(1))
+	h.Close()
+	if err := a.Send(Frame{Dst: mac(2)}); err != ErrHubClosed {
+		t.Errorf("Send after close = %v, want ErrHubClosed", err)
+	}
+	if _, err := h.Attach(mac(3)); err != ErrHubClosed {
+		t.Errorf("Attach after close = %v, want ErrHubClosed", err)
+	}
+	// Recv channel must be closed so readers unblock.
+	if _, ok := <-a.Recv(); ok {
+		t.Error("recv channel still open after hub close")
+	}
+}
+
+func TestRxOverflowDropsNotBlocks(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	a, _ := h.Attach(mac(1))
+	h.Attach(mac(2)) // receiver that never drains
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < rxQueueDepth+50; i++ {
+			a.Send(Frame{Dst: mac(2)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sender blocked on full receive queue")
+	}
+	_, dropped := h.Stats()
+	if dropped == 0 {
+		t.Error("no drops recorded despite overflow")
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if m.String() != "de:ad:be:ef:00:01" {
+		t.Errorf("String() = %s", m)
+	}
+}
+
+func TestPromiscuousPortSeesUnicast(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	a, _ := h.Attach(mac(1))
+	h.Attach(mac(2))
+	sniffer, err := h.AttachPromiscuous(mac(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Send(Frame{Dst: mac(2), Payload: []byte("private?")})
+	f := recvWithTimeout(t, sniffer)
+	if string(f.Payload) != "private?" {
+		t.Errorf("sniffer got %q", f.Payload)
+	}
+	// A normal port still does not see other hosts' unicast.
+	b2, _ := h.Attach(mac(3))
+	a.Send(Frame{Dst: mac(2), Payload: []byte("again")})
+	select {
+	case f := <-b2.Recv():
+		t.Errorf("non-promiscuous port saw %q", f.Payload)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

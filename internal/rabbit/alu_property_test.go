@@ -1,0 +1,190 @@
+package rabbit
+
+// Property tests: the CPU's ALU against an independent Go model, over
+// randomized operand pairs. These catch flag-computation slips that
+// example-based tests miss.
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// runALU executes a 2-instruction program applying op to a and v and
+// returns the resulting A and F.
+func runALU(t *testing.T, opcode byte, a, v uint8, carryIn bool) (uint8, uint8) {
+	t.Helper()
+	c := New()
+	c.Mem.LoadPhysical(0, []byte{opcode, v, 0x76}) // ALU A,n; HALT
+	c.A = a
+	if carryIn {
+		c.F = FlagC
+	}
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	return c.A, c.F
+}
+
+func TestQuickADD(t *testing.T) {
+	f := func(a, v uint8) bool {
+		got, flags := runALU(t, 0xC6, a, v, false)
+		want := a + v
+		if got != want {
+			return false
+		}
+		wantC := uint16(a)+uint16(v) > 0xff
+		wantZ := want == 0
+		wantS := want&0x80 != 0
+		wantV := (a^want)&(v^want)&0x80 != 0
+		return (flags&FlagC != 0) == wantC && (flags&FlagZ != 0) == wantZ &&
+			(flags&FlagS != 0) == wantS && (flags&FlagPV != 0) == wantV &&
+			flags&FlagN == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickADC(t *testing.T) {
+	f := func(a, v uint8, cin bool) bool {
+		got, flags := runALU(t, 0xCE, a, v, cin)
+		carry := uint16(0)
+		if cin {
+			carry = 1
+		}
+		r := uint16(a) + uint16(v) + carry
+		if got != uint8(r) {
+			return false
+		}
+		return (flags&FlagC != 0) == (r > 0xff)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSUB(t *testing.T) {
+	f := func(a, v uint8) bool {
+		got, flags := runALU(t, 0xD6, a, v, false)
+		want := a - v
+		if got != want {
+			return false
+		}
+		wantC := a < v
+		wantZ := want == 0
+		wantV := (a^v)&(a^want)&0x80 != 0
+		return (flags&FlagC != 0) == wantC && (flags&FlagZ != 0) == wantZ &&
+			(flags&FlagPV != 0) == wantV && flags&FlagN != 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSBC(t *testing.T) {
+	f := func(a, v uint8, cin bool) bool {
+		got, flags := runALU(t, 0xDE, a, v, cin)
+		carry := uint16(0)
+		if cin {
+			carry = 1
+		}
+		r := uint16(a) - uint16(v) - carry
+		if got != uint8(r) {
+			return false
+		}
+		return (flags&FlagC != 0) == (r > 0xff)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLogic(t *testing.T) {
+	cases := []struct {
+		opcode byte
+		model  func(a, v uint8) uint8
+	}{
+		{0xE6, func(a, v uint8) uint8 { return a & v }},
+		{0xEE, func(a, v uint8) uint8 { return a ^ v }},
+		{0xF6, func(a, v uint8) uint8 { return a | v }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		f := func(a, v uint8) bool {
+			got, flags := runALU(t, tc.opcode, a, v, false)
+			want := tc.model(a, v)
+			if got != want {
+				return false
+			}
+			wantP := parity(want)
+			return (flags&FlagZ != 0) == (want == 0) &&
+				(flags&FlagS != 0) == (want&0x80 != 0) &&
+				(flags&FlagPV != 0) == wantP &&
+				flags&FlagC == 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("opcode %02x: %v", tc.opcode, err)
+		}
+	}
+}
+
+func TestQuickCPPreservesA(t *testing.T) {
+	f := func(a, v uint8) bool {
+		got, flags := runALU(t, 0xFE, a, v, false)
+		if got != a {
+			return false
+		}
+		return (flags&FlagZ != 0) == (a == v) && (flags&FlagC != 0) == (a < v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: signed 16-bit compare through the runtime-style SBC HL,DE
+// sequence agrees with Go's < over the full signed range.
+func TestQuickSBC16SignedCompare(t *testing.T) {
+	f := func(x, y int16) bool {
+		c := New()
+		// LD HL,x; LD DE,y; OR A; SBC HL,DE; HALT
+		c.Mem.LoadPhysical(0, []byte{
+			0x21, byte(uint16(x)), byte(uint16(x) >> 8),
+			0x11, byte(uint16(y)), byte(uint16(y) >> 8),
+			0xB7,
+			0xED, 0x52,
+			0x76,
+		})
+		if err := c.Run(100); err != nil {
+			return false
+		}
+		// signed less: S != V
+		s := c.flag(FlagS)
+		v := c.flag(FlagPV)
+		return (s != v) == (x < y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DAA fixes up BCD addition for all BCD digit pairs.
+func TestDAAAllBCDPairs(t *testing.T) {
+	toBCD := func(n int) uint8 { return uint8(n/10<<4 | n%10) }
+	for x := 0; x < 100; x++ {
+		for y := 0; y < 100; y += 7 { // sampled for speed
+			c := New()
+			c.Mem.LoadPhysical(0, []byte{0xC6, toBCD(y), 0x27, 0x76}) // ADD A,y; DAA
+			c.A = toBCD(x)
+			if err := c.Run(100); err != nil {
+				t.Fatal(err)
+			}
+			sum := (x + y) % 100
+			if c.A != toBCD(sum) {
+				t.Fatalf("BCD %d+%d: A=%02x, want %02x", x, y, c.A, toBCD(sum))
+			}
+			if carry := x+y >= 100; c.flag(FlagC) != carry {
+				t.Fatalf("BCD %d+%d: carry=%v", x, y, c.flag(FlagC))
+			}
+		}
+	}
+}

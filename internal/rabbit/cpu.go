@@ -1,0 +1,413 @@
+package rabbit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Flag bits (Z80 layout; the Rabbit keeps the same F register shape
+// for the flags this simulator models).
+const (
+	FlagC  uint8 = 0x01
+	FlagN  uint8 = 0x02
+	FlagPV uint8 = 0x04
+	FlagH  uint8 = 0x10
+	FlagZ  uint8 = 0x40
+	FlagS  uint8 = 0x80
+)
+
+// Bus is the internal I/O space (16-bit port addresses on the Rabbit).
+type Bus interface {
+	In(port uint16) uint8
+	Out(port uint16, v uint8)
+}
+
+// NullBus ignores writes and reads 0xFF, like unpopulated I/O.
+type NullBus struct{}
+
+// In implements Bus.
+func (NullBus) In(uint16) uint8 { return 0xff }
+
+// Out implements Bus.
+func (NullBus) Out(uint16, uint8) {}
+
+// CPU is a Rabbit 2000 processor core.
+type CPU struct {
+	A, F, B, C, D, E, H, L uint8
+	// Alternate register set (EX AF,AF' / EXX).
+	A2, F2, B2, C2, D2, E2, H2, L2 uint8
+	IX, IY, SP, PC                 uint16
+
+	Mem *Memory
+	IO  Bus
+
+	// Cycles approximates Rabbit 2000 clock counts.
+	Cycles uint64
+	// Instructions counts retired instructions.
+	Instructions uint64
+
+	Halted bool
+	IFF    bool // interrupt enable
+
+	// IntVector is where an accepted external interrupt jumps
+	// (SetVectExtern2000 in Dynamic C terms).
+	IntVector  uint16
+	intPending bool
+
+	// ioPrefix marks that the current instruction was preceded by the
+	// IOI prefix: its memory operands address internal I/O.
+	ioPrefix bool
+}
+
+// ErrIllegalOpcode reports an unimplemented or invalid instruction.
+var ErrIllegalOpcode = errors.New("rabbit: illegal opcode")
+
+// New creates a CPU with fresh memory and a null I/O bus.
+func New() *CPU {
+	return &CPU{Mem: NewMemory(), IO: NullBus{}, SP: 0xDFFF}
+}
+
+// Reset returns the CPU to power-on state (memory untouched).
+func (c *CPU) Reset() {
+	c.A, c.F, c.B, c.C, c.D, c.E, c.H, c.L = 0, 0, 0, 0, 0, 0, 0, 0
+	c.IX, c.IY = 0, 0
+	c.SP, c.PC = 0xDFFF, 0
+	c.Halted = false
+	c.IFF = false
+	c.intPending = false
+	c.Cycles = 0
+	c.Instructions = 0
+}
+
+// RaiseInt asserts the external interrupt line.
+func (c *CPU) RaiseInt() { c.intPending = true }
+
+// --- register pair helpers ----------------------------------------------------
+
+// BC/DE/HL accessors.
+func (c *CPU) bc() uint16     { return uint16(c.B)<<8 | uint16(c.C) }
+func (c *CPU) de() uint16     { return uint16(c.D)<<8 | uint16(c.E) }
+func (c *CPU) hl() uint16     { return uint16(c.H)<<8 | uint16(c.L) }
+func (c *CPU) setBC(v uint16) { c.B, c.C = uint8(v>>8), uint8(v) }
+func (c *CPU) setDE(v uint16) { c.D, c.E = uint8(v>>8), uint8(v) }
+func (c *CPU) setHL(v uint16) { c.H, c.L = uint8(v>>8), uint8(v) }
+func (c *CPU) af() uint16     { return uint16(c.A)<<8 | uint16(c.F) }
+func (c *CPU) setAF(v uint16) { c.A, c.F = uint8(v>>8), uint8(v) }
+
+// getRP reads register pair p (0=BC 1=DE 2=HL 3=SP).
+func (c *CPU) getRP(p int, ix *uint16) uint16 {
+	switch p {
+	case 0:
+		return c.bc()
+	case 1:
+		return c.de()
+	case 2:
+		if ix != nil {
+			return *ix
+		}
+		return c.hl()
+	default:
+		return c.SP
+	}
+}
+
+func (c *CPU) setRP(p int, ix *uint16, v uint16) {
+	switch p {
+	case 0:
+		c.setBC(v)
+	case 1:
+		c.setDE(v)
+	case 2:
+		if ix != nil {
+			*ix = v
+		} else {
+			c.setHL(v)
+		}
+	default:
+		c.SP = v
+	}
+}
+
+// getRP2 is getRP with AF instead of SP (PUSH/POP encoding).
+func (c *CPU) getRP2(p int, ix *uint16) uint16 {
+	if p == 3 {
+		return c.af()
+	}
+	return c.getRP(p, ix)
+}
+
+func (c *CPU) setRP2(p int, ix *uint16, v uint16) {
+	if p == 3 {
+		c.setAF(v)
+		return
+	}
+	c.setRP(p, ix, v)
+}
+
+// memRead8 honors the IOI prefix for operand access.
+func (c *CPU) memRead8(addr uint16) uint8 {
+	if c.ioPrefix {
+		return c.IO.In(addr)
+	}
+	return c.Mem.Read(addr)
+}
+
+func (c *CPU) memWrite8(addr uint16, v uint8) {
+	if c.ioPrefix {
+		c.IO.Out(addr, v)
+		return
+	}
+	c.Mem.Write(addr, v)
+}
+
+// getR reads register index r (6 = (HL) or (IX+d)).
+func (c *CPU) getR(r int, ix *uint16, d int8) uint8 {
+	switch r {
+	case 0:
+		return c.B
+	case 1:
+		return c.C
+	case 2:
+		return c.D
+	case 3:
+		return c.E
+	case 4:
+		return c.H
+	case 5:
+		return c.L
+	case 6:
+		if ix != nil {
+			return c.memRead8(uint16(int32(*ix) + int32(d)))
+		}
+		return c.memRead8(c.hl())
+	default:
+		return c.A
+	}
+}
+
+func (c *CPU) setR(r int, ix *uint16, d int8, v uint8) {
+	switch r {
+	case 0:
+		c.B = v
+	case 1:
+		c.C = v
+	case 2:
+		c.D = v
+	case 3:
+		c.E = v
+	case 4:
+		c.H = v
+	case 5:
+		c.L = v
+	case 6:
+		if ix != nil {
+			c.memWrite8(uint16(int32(*ix)+int32(d)), v)
+		} else {
+			c.memWrite8(c.hl(), v)
+		}
+	default:
+		c.A = v
+	}
+}
+
+// --- fetch helpers -------------------------------------------------------------
+
+func (c *CPU) fetch8() uint8 {
+	v := c.Mem.Read(c.PC)
+	c.PC++
+	return v
+}
+
+func (c *CPU) fetch16() uint16 {
+	lo := c.fetch8()
+	hi := c.fetch8()
+	return uint16(hi)<<8 | uint16(lo)
+}
+
+func (c *CPU) push16(v uint16) {
+	c.SP -= 2
+	c.Mem.Write16(c.SP, v)
+}
+
+func (c *CPU) pop16() uint16 {
+	v := c.Mem.Read16(c.SP)
+	c.SP += 2
+	return v
+}
+
+// --- flags -----------------------------------------------------------------------
+
+func parity(v uint8) bool {
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v&1 == 0
+}
+
+func (c *CPU) setFlag(f uint8, on bool) {
+	if on {
+		c.F |= f
+	} else {
+		c.F &^= f
+	}
+}
+
+func (c *CPU) flag(f uint8) bool { return c.F&f != 0 }
+
+// szp sets S, Z and parity-as-PV from an 8-bit result.
+func (c *CPU) szp(v uint8) {
+	c.setFlag(FlagS, v&0x80 != 0)
+	c.setFlag(FlagZ, v == 0)
+	c.setFlag(FlagPV, parity(v))
+}
+
+// cond evaluates condition code y (NZ Z NC C PO PE P M).
+func (c *CPU) cond(y int) bool {
+	switch y {
+	case 0:
+		return !c.flag(FlagZ)
+	case 1:
+		return c.flag(FlagZ)
+	case 2:
+		return !c.flag(FlagC)
+	case 3:
+		return c.flag(FlagC)
+	case 4:
+		return !c.flag(FlagPV)
+	case 5:
+		return c.flag(FlagPV)
+	case 6:
+		return !c.flag(FlagS)
+	default:
+		return c.flag(FlagS)
+	}
+}
+
+// --- ALU -------------------------------------------------------------------------
+
+// alu performs operation y (ADD ADC SUB SBC AND XOR OR CP) on A and v.
+func (c *CPU) alu(y int, v uint8) {
+	a := c.A
+	switch y {
+	case 0, 1: // ADD / ADC
+		carry := uint16(0)
+		if y == 1 && c.flag(FlagC) {
+			carry = 1
+		}
+		r := uint16(a) + uint16(v) + carry
+		res := uint8(r)
+		c.setFlag(FlagC, r > 0xff)
+		c.setFlag(FlagH, a&0x0f+v&0x0f+uint8(carry) > 0x0f)
+		c.setFlag(FlagN, false)
+		c.setFlag(FlagS, res&0x80 != 0)
+		c.setFlag(FlagZ, res == 0)
+		c.setFlag(FlagPV, (a^res)&(v^res)&0x80 != 0) // signed overflow
+		c.A = res
+	case 2, 3, 7: // SUB / SBC / CP
+		carry := uint16(0)
+		if y == 3 && c.flag(FlagC) {
+			carry = 1
+		}
+		r := uint16(a) - uint16(v) - carry
+		res := uint8(r)
+		c.setFlag(FlagC, r > 0xff) // borrow
+		c.setFlag(FlagH, uint16(a&0x0f) < uint16(v&0x0f)+carry)
+		c.setFlag(FlagN, true)
+		c.setFlag(FlagS, res&0x80 != 0)
+		c.setFlag(FlagZ, res == 0)
+		c.setFlag(FlagPV, (a^v)&(a^res)&0x80 != 0)
+		if y != 7 {
+			c.A = res
+		}
+	case 4: // AND
+		c.A = a & v
+		c.szp(c.A)
+		c.setFlag(FlagH, true)
+		c.setFlag(FlagN, false)
+		c.setFlag(FlagC, false)
+	case 5: // XOR
+		c.A = a ^ v
+		c.szp(c.A)
+		c.setFlag(FlagH, false)
+		c.setFlag(FlagN, false)
+		c.setFlag(FlagC, false)
+	case 6: // OR
+		c.A = a | v
+		c.szp(c.A)
+		c.setFlag(FlagH, false)
+		c.setFlag(FlagN, false)
+		c.setFlag(FlagC, false)
+	}
+}
+
+func (c *CPU) inc8(v uint8) uint8 {
+	r := v + 1
+	c.setFlag(FlagS, r&0x80 != 0)
+	c.setFlag(FlagZ, r == 0)
+	c.setFlag(FlagH, v&0x0f == 0x0f)
+	c.setFlag(FlagPV, v == 0x7f)
+	c.setFlag(FlagN, false)
+	return r
+}
+
+func (c *CPU) dec8(v uint8) uint8 {
+	r := v - 1
+	c.setFlag(FlagS, r&0x80 != 0)
+	c.setFlag(FlagZ, r == 0)
+	c.setFlag(FlagH, v&0x0f == 0)
+	c.setFlag(FlagPV, v == 0x80)
+	c.setFlag(FlagN, true)
+	return r
+}
+
+func (c *CPU) addHL(hl, v uint16) uint16 {
+	r := uint32(hl) + uint32(v)
+	c.setFlag(FlagC, r > 0xffff)
+	c.setFlag(FlagH, hl&0x0fff+v&0x0fff > 0x0fff)
+	c.setFlag(FlagN, false)
+	return uint16(r)
+}
+
+// --- execution ---------------------------------------------------------------------
+
+// Step executes one instruction and returns any decode error.
+func (c *CPU) Step() error {
+	if c.intPending && c.IFF && !c.ioPrefix {
+		c.intPending = false
+		c.IFF = false
+		c.Halted = false
+		c.push16(c.PC)
+		c.PC = c.IntVector
+		c.Cycles += 10
+	}
+	if c.Halted {
+		c.Cycles += 2
+		return nil
+	}
+	op := c.fetch8()
+	c.Instructions++
+	err := c.exec(op, nil)
+	c.ioPrefix = false
+	return err
+}
+
+// Run executes until HALT, an error, or the cycle budget is exhausted.
+// It returns the error, if any.
+func (c *CPU) Run(maxCycles uint64) error {
+	start := c.Cycles
+	for !c.Halted && c.Cycles-start < maxCycles {
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	if !c.Halted {
+		return fmt.Errorf("rabbit: cycle budget %d exhausted at PC=%04x", maxCycles, c.PC)
+	}
+	return nil
+}
+
+// String renders the register file for diagnostics.
+func (c *CPU) String() string {
+	return fmt.Sprintf("A=%02x F=%02x BC=%04x DE=%04x HL=%04x IX=%04x IY=%04x SP=%04x PC=%04x cyc=%d",
+		c.A, c.F, c.bc(), c.de(), c.hl(), c.IX, c.IY, c.SP, c.PC, c.Cycles)
+}

@@ -1,0 +1,565 @@
+package rabbit
+
+import "fmt"
+
+// exec decodes and executes one primary opcode. ix is non-nil when a
+// DD (IX) or FD (IY) prefix is active. Decoding follows the standard
+// x/y/z scheme: x = op>>6, y = (op>>3)&7, z = op&7, p = y>>1, q = y&1.
+//
+// Cycle counts approximate the Rabbit 2000 user's manual; register
+// operations are cheap (2 clocks), memory operands cost ~5–7,
+// call/ret/push/pop ~8–12, prefixed index forms add ~4.
+func (c *CPU) exec(op uint8, ix *uint16) error {
+	x := int(op >> 6)
+	y := int(op >> 3 & 7)
+	z := int(op & 7)
+	p := y >> 1
+	q := y & 1
+
+	// Displacement for (IX+d) forms is fetched lazily: only
+	// instructions that actually use operand 6 with a prefix have one.
+	var d int8
+	fetchD := func() {
+		if ix != nil {
+			d = int8(c.fetch8())
+		}
+	}
+	idxCost := uint64(0)
+	if ix != nil {
+		idxCost = 4
+	}
+
+	switch x {
+	case 1: // LD r,r' | HALT
+		if y == 6 && z == 6 {
+			c.Halted = true
+			c.Cycles += 2
+			return nil
+		}
+		if y == 6 || z == 6 {
+			fetchD()
+			c.Cycles += 5 + idxCost
+		} else {
+			c.Cycles += 2
+		}
+		c.setR(y, ix, d, c.getR(z, ix, d))
+		return nil
+
+	case 2: // ALU A, r
+		if z == 6 {
+			fetchD()
+			c.Cycles += 5 + idxCost
+		} else {
+			c.Cycles += 2
+		}
+		c.alu(y, c.getR(z, ix, d))
+		return nil
+	}
+
+	if x == 0 {
+		switch z {
+		case 0:
+			switch y {
+			case 0: // NOP
+				c.Cycles += 2
+			case 1: // EX AF,AF'
+				c.A, c.A2 = c.A2, c.A
+				c.F, c.F2 = c.F2, c.F
+				c.Cycles += 2
+			case 2: // DJNZ d
+				e := int8(c.fetch8())
+				c.B--
+				if c.B != 0 {
+					c.PC = uint16(int32(c.PC) + int32(e))
+					c.Cycles += 7
+				} else {
+					c.Cycles += 5
+				}
+			case 3: // JR d
+				e := int8(c.fetch8())
+				c.PC = uint16(int32(c.PC) + int32(e))
+				c.Cycles += 5
+			default: // JR cc,d
+				e := int8(c.fetch8())
+				if c.cond(y - 4) {
+					c.PC = uint16(int32(c.PC) + int32(e))
+					c.Cycles += 7
+				} else {
+					c.Cycles += 5
+				}
+			}
+		case 1:
+			if q == 0 { // LD rp,nn
+				c.setRP(p, ix, c.fetch16())
+				c.Cycles += 6 + idxCost
+			} else { // ADD HL,rp
+				hl := c.getRP(2, ix)
+				c.setRP(2, ix, c.addHL(hl, c.getRP(p, ix)))
+				c.Cycles += 2 + idxCost
+			}
+		case 2:
+			switch y {
+			case 0: // LD (BC),A
+				c.memWrite8(c.bc(), c.A)
+				c.Cycles += 6
+			case 1: // LD A,(BC)
+				c.A = c.memRead8(c.bc())
+				c.Cycles += 6
+			case 2: // LD (DE),A
+				c.memWrite8(c.de(), c.A)
+				c.Cycles += 6
+			case 3: // LD A,(DE)
+				c.A = c.memRead8(c.de())
+				c.Cycles += 6
+			case 4: // LD (nn),HL
+				addr := c.fetch16()
+				hl := c.getRP(2, ix)
+				if c.ioPrefix {
+					c.IO.Out(addr, uint8(hl))
+					c.IO.Out(addr+1, uint8(hl>>8))
+				} else {
+					c.Mem.Write16(addr, hl)
+				}
+				c.Cycles += 11 + idxCost
+			case 5: // LD HL,(nn)
+				addr := c.fetch16()
+				var v uint16
+				if c.ioPrefix {
+					v = uint16(c.IO.In(addr)) | uint16(c.IO.In(addr+1))<<8
+				} else {
+					v = c.Mem.Read16(addr)
+				}
+				c.setRP(2, ix, v)
+				c.Cycles += 9 + idxCost
+			case 6: // LD (nn),A
+				c.memWrite8(c.fetch16(), c.A)
+				c.Cycles += 8
+			default: // LD A,(nn)
+				c.A = c.memRead8(c.fetch16())
+				c.Cycles += 6
+			}
+		case 3: // INC/DEC rp
+			v := c.getRP(p, ix)
+			if q == 0 {
+				v++
+			} else {
+				v--
+			}
+			c.setRP(p, ix, v)
+			c.Cycles += 2 + idxCost
+		case 4: // INC r
+			if y == 6 {
+				fetchD()
+				c.Cycles += 8 + idxCost
+			} else {
+				c.Cycles += 2
+			}
+			c.setR(y, ix, d, c.inc8(c.getR(y, ix, d)))
+		case 5: // DEC r
+			if y == 6 {
+				fetchD()
+				c.Cycles += 8 + idxCost
+			} else {
+				c.Cycles += 2
+			}
+			c.setR(y, ix, d, c.dec8(c.getR(y, ix, d)))
+		case 6: // LD r,n
+			if y == 6 {
+				fetchD()
+				c.setR(y, ix, d, c.fetch8())
+				c.Cycles += 7 + idxCost
+			} else {
+				c.setR(y, ix, d, c.fetch8())
+				c.Cycles += 4
+			}
+		case 7:
+			switch y {
+			case 0: // RLCA
+				carry := c.A >> 7
+				c.A = c.A<<1 | carry
+				c.setFlag(FlagC, carry != 0)
+				c.setFlag(FlagH, false)
+				c.setFlag(FlagN, false)
+			case 1: // RRCA
+				carry := c.A & 1
+				c.A = c.A>>1 | carry<<7
+				c.setFlag(FlagC, carry != 0)
+				c.setFlag(FlagH, false)
+				c.setFlag(FlagN, false)
+			case 2: // RLA
+				carry := c.A >> 7
+				c.A <<= 1
+				if c.flag(FlagC) {
+					c.A |= 1
+				}
+				c.setFlag(FlagC, carry != 0)
+				c.setFlag(FlagH, false)
+				c.setFlag(FlagN, false)
+			case 3: // RRA
+				carry := c.A & 1
+				c.A >>= 1
+				if c.flag(FlagC) {
+					c.A |= 0x80
+				}
+				c.setFlag(FlagC, carry != 0)
+				c.setFlag(FlagH, false)
+				c.setFlag(FlagN, false)
+			case 4: // DAA
+				c.daa()
+			case 5: // CPL
+				c.A = ^c.A
+				c.setFlag(FlagH, true)
+				c.setFlag(FlagN, true)
+			case 6: // SCF
+				c.setFlag(FlagC, true)
+				c.setFlag(FlagH, false)
+				c.setFlag(FlagN, false)
+			default: // CCF
+				c.setFlag(FlagH, c.flag(FlagC))
+				c.setFlag(FlagC, !c.flag(FlagC))
+				c.setFlag(FlagN, false)
+			}
+			c.Cycles += 2
+		}
+		return nil
+	}
+
+	// x == 3
+	switch z {
+	case 0: // RET cc
+		if c.cond(y) {
+			c.PC = c.pop16()
+			c.Cycles += 8
+		} else {
+			c.Cycles += 2
+		}
+	case 1:
+		if q == 0 { // POP rp2
+			c.setRP2(p, ix, c.pop16())
+			c.Cycles += 7 + idxCost
+		} else {
+			switch p {
+			case 0: // RET
+				c.PC = c.pop16()
+				c.Cycles += 8
+			case 1: // EXX
+				c.B, c.B2 = c.B2, c.B
+				c.C, c.C2 = c.C2, c.C
+				c.D, c.D2 = c.D2, c.D
+				c.E, c.E2 = c.E2, c.E
+				c.H, c.H2 = c.H2, c.H
+				c.L, c.L2 = c.L2, c.L
+				c.Cycles += 2
+			case 2: // JP (HL)
+				c.PC = c.getRP(2, ix)
+				c.Cycles += 4
+			default: // LD SP,HL
+				c.SP = c.getRP(2, ix)
+				c.Cycles += 2
+			}
+		}
+	case 2: // JP cc,nn
+		addr := c.fetch16()
+		if c.cond(y) {
+			c.PC = addr
+		}
+		c.Cycles += 7
+	case 3:
+		switch y {
+		case 0: // JP nn
+			c.PC = c.fetch16()
+			c.Cycles += 7
+		case 1: // CB prefix
+			return c.execCB(ix)
+		case 2: // 0xD3: IOI prefix (Rabbit; Z80 used this for OUT (n),A)
+			c.ioPrefix = true
+			c.Cycles += 2
+			op2 := c.fetch8()
+			c.Instructions++
+			err := c.exec(op2, nil)
+			c.ioPrefix = false
+			return err
+		case 3: // 0xDB: unsupported (Z80 IN A,(n); Rabbit IOE prefix)
+			return fmt.Errorf("%w: %02x (IOE prefix not modeled)", ErrIllegalOpcode, op)
+		case 4: // EX (SP),HL
+			hl := c.getRP(2, ix)
+			v := c.Mem.Read16(c.SP)
+			c.Mem.Write16(c.SP, hl)
+			c.setRP(2, ix, v)
+			c.Cycles += 15 + idxCost
+		case 5: // EX DE,HL
+			de := c.de()
+			c.setDE(c.hl())
+			c.setHL(de)
+			c.Cycles += 2
+		case 6: // DI
+			c.IFF = false
+			c.Cycles += 4
+		default: // EI
+			c.IFF = true
+			c.Cycles += 4
+		}
+	case 4: // CALL cc,nn
+		addr := c.fetch16()
+		if c.cond(y) {
+			c.push16(c.PC)
+			c.PC = addr
+			c.Cycles += 12
+		} else {
+			c.Cycles += 7
+		}
+	case 5:
+		if q == 0 { // PUSH rp2
+			c.push16(c.getRP2(p, ix))
+			c.Cycles += 10 + idxCost
+		} else {
+			switch p {
+			case 0: // CALL nn
+				addr := c.fetch16()
+				c.push16(c.PC)
+				c.PC = addr
+				c.Cycles += 12
+			case 1: // DD prefix
+				return c.execPrefixed(&c.IX)
+			case 2: // ED prefix
+				return c.execED()
+			default: // FD prefix
+				return c.execPrefixed(&c.IY)
+			}
+		}
+	case 6: // ALU A,n
+		c.alu(y, c.fetch8())
+		c.Cycles += 4
+	case 7: // RST y*8
+		c.push16(c.PC)
+		c.PC = uint16(y * 8)
+		c.Cycles += 8
+	}
+	return nil
+}
+
+// execPrefixed handles a DD/FD prefix byte.
+func (c *CPU) execPrefixed(ix *uint16) error {
+	op := c.fetch8()
+	switch op {
+	case 0xDD:
+		return c.execPrefixed(&c.IX)
+	case 0xFD:
+		return c.execPrefixed(&c.IY)
+	case 0xCB:
+		return c.execDDCB(ix)
+	case 0xED:
+		return c.execED()
+	}
+	return c.exec(op, ix)
+}
+
+// daa implements decimal adjust (Z80 semantics).
+func (c *CPU) daa() {
+	a := c.A
+	var adjust uint8
+	carry := c.flag(FlagC)
+	if c.flag(FlagH) || a&0x0f > 9 {
+		adjust = 0x06
+	}
+	if carry || a > 0x99 {
+		adjust |= 0x60
+		carry = true
+	}
+	if c.flag(FlagN) {
+		c.setFlag(FlagH, c.flag(FlagH) && a&0x0f < 6)
+		a -= adjust
+	} else {
+		c.setFlag(FlagH, a&0x0f > 9)
+		a += adjust
+	}
+	c.A = a
+	c.setFlag(FlagC, carry)
+	c.setFlag(FlagZ, a == 0)
+	c.setFlag(FlagS, a&0x80 != 0)
+	c.setFlag(FlagPV, parity(a))
+}
+
+// execCB handles the CB prefix: rotates, shifts, and bit operations.
+func (c *CPU) execCB(ix *uint16) error {
+	// With DD CB the displacement precedes the final opcode; handled
+	// by execDDCB. Here ix is nil.
+	op := c.fetch8()
+	x := int(op >> 6)
+	y := int(op >> 3 & 7)
+	z := int(op & 7)
+	cost := uint64(4)
+	if z == 6 {
+		cost = 10
+	}
+	c.Cycles += cost
+	switch x {
+	case 0: // rotate/shift
+		v := c.getR(z, nil, 0)
+		c.setR(z, nil, 0, c.rotOp(y, v))
+	case 1: // BIT y,r
+		v := c.getR(z, nil, 0)
+		c.setFlag(FlagZ, v&(1<<uint(y)) == 0)
+		c.setFlag(FlagH, true)
+		c.setFlag(FlagN, false)
+	case 2: // RES y,r
+		v := c.getR(z, nil, 0)
+		c.setR(z, nil, 0, v&^(1<<uint(y)))
+	case 3: // SET y,r
+		v := c.getR(z, nil, 0)
+		c.setR(z, nil, 0, v|1<<uint(y))
+	}
+	_ = ix
+	return nil
+}
+
+// execDDCB handles DD/FD CB d op — bit operations on (IX+d).
+func (c *CPU) execDDCB(ix *uint16) error {
+	d := int8(c.fetch8())
+	op := c.fetch8()
+	x := int(op >> 6)
+	y := int(op >> 3 & 7)
+	addr := uint16(int32(*ix) + int32(d))
+	c.Cycles += 12
+	v := c.Mem.Read(addr)
+	switch x {
+	case 0:
+		c.Mem.Write(addr, c.rotOp(y, v))
+	case 1:
+		c.setFlag(FlagZ, v&(1<<uint(y)) == 0)
+		c.setFlag(FlagH, true)
+		c.setFlag(FlagN, false)
+	case 2:
+		c.Mem.Write(addr, v&^(1<<uint(y)))
+	case 3:
+		c.Mem.Write(addr, v|1<<uint(y))
+	}
+	return nil
+}
+
+// rotOp applies rotate/shift operation y to v, setting flags.
+func (c *CPU) rotOp(y int, v uint8) uint8 {
+	var r uint8
+	var carry bool
+	switch y {
+	case 0: // RLC
+		carry = v&0x80 != 0
+		r = v<<1 | v>>7
+	case 1: // RRC
+		carry = v&1 != 0
+		r = v>>1 | v<<7
+	case 2: // RL
+		carry = v&0x80 != 0
+		r = v << 1
+		if c.flag(FlagC) {
+			r |= 1
+		}
+	case 3: // RR
+		carry = v&1 != 0
+		r = v >> 1
+		if c.flag(FlagC) {
+			r |= 0x80
+		}
+	case 4: // SLA
+		carry = v&0x80 != 0
+		r = v << 1
+	case 5: // SRA
+		carry = v&1 != 0
+		r = v>>1 | v&0x80
+	case 6: // SLL (undocumented on Z80; kept for completeness)
+		carry = v&0x80 != 0
+		r = v<<1 | 1
+	default: // SRL
+		carry = v&1 != 0
+		r = v >> 1
+	}
+	c.szp(r)
+	c.setFlag(FlagC, carry)
+	c.setFlag(FlagH, false)
+	c.setFlag(FlagN, false)
+	return r
+}
+
+// execED handles the ED prefix subset the toolchain emits.
+func (c *CPU) execED() error {
+	op := c.fetch8()
+	switch op {
+	case 0x44: // NEG
+		v := c.A
+		c.A = 0
+		c.alu(2, v) // SUB v from 0
+		c.Cycles += 4
+		return nil
+	case 0x4D: // RETI
+		c.PC = c.pop16()
+		c.Cycles += 12
+		return nil
+	case 0xA0, 0xA8, 0xB0, 0xB8: // LDI / LDD / LDIR / LDDR
+		step := int32(1)
+		if op == 0xA8 || op == 0xB8 {
+			step = -1
+		}
+		repeat := op == 0xB0 || op == 0xB8
+		for {
+			c.Mem.Write(c.de(), c.Mem.Read(c.hl()))
+			c.setHL(uint16(int32(c.hl()) + step))
+			c.setDE(uint16(int32(c.de()) + step))
+			c.setBC(c.bc() - 1)
+			c.Cycles += 7
+			if !repeat || c.bc() == 0 {
+				break
+			}
+		}
+		c.setFlag(FlagPV, c.bc() != 0)
+		c.setFlag(FlagH, false)
+		c.setFlag(FlagN, false)
+		return nil
+	}
+	// SBC HL,rp (01pp0010) / ADC HL,rp (01pp1010) /
+	// LD (nn),rp (01pp0011) / LD rp,(nn) (01pp1011)
+	if op&0xCF == 0x42 || op&0xCF == 0x4A {
+		p := int(op >> 4 & 3)
+		hl := c.hl()
+		v := c.getRP(p, nil)
+		carry := uint32(0)
+		if c.flag(FlagC) {
+			carry = 1
+		}
+		if op&0x08 == 0 { // SBC
+			r := uint32(hl) - uint32(v) - carry
+			res := uint16(r)
+			c.setFlag(FlagC, r > 0xffff)
+			c.setFlag(FlagN, true)
+			c.setFlag(FlagZ, res == 0)
+			c.setFlag(FlagS, res&0x8000 != 0)
+			c.setFlag(FlagPV, (hl^v)&(hl^res)&0x8000 != 0)
+			c.setFlag(FlagH, hl&0x0fff < v&0x0fff+uint16(carry))
+			c.setHL(res)
+		} else { // ADC
+			r := uint32(hl) + uint32(v) + carry
+			res := uint16(r)
+			c.setFlag(FlagC, r > 0xffff)
+			c.setFlag(FlagN, false)
+			c.setFlag(FlagZ, res == 0)
+			c.setFlag(FlagS, res&0x8000 != 0)
+			c.setFlag(FlagPV, (hl^res)&(v^res)&0x8000 != 0)
+			c.setFlag(FlagH, hl&0x0fff+v&0x0fff+uint16(carry) > 0x0fff)
+			c.setHL(res)
+		}
+		c.Cycles += 4
+		return nil
+	}
+	if op&0xCF == 0x43 { // LD (nn),rp
+		addr := c.fetch16()
+		c.Mem.Write16(addr, c.getRP(int(op>>4&3), nil))
+		c.Cycles += 13
+		return nil
+	}
+	if op&0xCF == 0x4B { // LD rp,(nn)
+		addr := c.fetch16()
+		c.setRP(int(op>>4&3), nil, c.Mem.Read16(addr))
+		c.Cycles += 11
+		return nil
+	}
+	return fmt.Errorf("%w: ED %02x at PC=%04x", ErrIllegalOpcode, op, c.PC-2)
+}

@@ -1,0 +1,418 @@
+package rasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassembler for the simulator's instruction subset — the inverse of
+// the encoder, used by cmd/rmcsim to show what the Dynamic C compiler
+// produced and by tests to round-trip the encoder.
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Addr  uint16
+	Bytes []byte
+	Text  string
+}
+
+var r8Names = [8]string{"b", "c", "d", "e", "h", "l", "(hl)", "a"}
+var rpNames = [4]string{"bc", "de", "hl", "sp"}
+var rp2Names = [4]string{"bc", "de", "hl", "af"}
+var condNames = [8]string{"nz", "z", "nc", "c", "po", "pe", "p", "m"}
+var aluNames = [8]string{"add a,", "adc a,", "sub", "sbc a,", "and", "xor", "or", "cp"}
+var rotNames = [8]string{"rlc", "rrc", "rl", "rr", "sla", "sra", "sll", "srl"}
+
+// Disassemble decodes the whole code image starting at origin. Data
+// regions decode as (possibly nonsensical) instructions, as any linear
+// disassembler would.
+func Disassemble(code []byte, origin uint16) []Inst {
+	var out []Inst
+	pc := 0
+	for pc < len(code) {
+		addr := uint16(pc) + origin
+		text, n := decodeOne(code[pc:], addr)
+		if n == 0 {
+			n = 1
+			text = fmt.Sprintf("db 0x%02x", code[pc])
+		}
+		out = append(out, Inst{Addr: addr, Bytes: code[pc : pc+n], Text: text})
+		pc += n
+	}
+	return out
+}
+
+// Listing renders a conventional address/bytes/mnemonic listing.
+func Listing(code []byte, origin uint16) string {
+	var sb strings.Builder
+	for _, in := range Disassemble(code, origin) {
+		hexPart := make([]string, 0, 4)
+		for _, b := range in.Bytes {
+			hexPart = append(hexPart, fmt.Sprintf("%02x", b))
+		}
+		fmt.Fprintf(&sb, "%04x  %-12s  %s\n", in.Addr, strings.Join(hexPart, " "), in.Text)
+	}
+	return sb.String()
+}
+
+// decodeOne decodes one instruction, returning text and length.
+// Length 0 means undecodable.
+func decodeOne(b []byte, addr uint16) (string, int) {
+	if len(b) == 0 {
+		return "", 0
+	}
+	op := b[0]
+	switch op {
+	case 0xCB:
+		return decodeCB(b, "")
+	case 0xDD:
+		return decodeIndexed(b, "ix", addr)
+	case 0xFD:
+		return decodeIndexed(b, "iy", addr)
+	case 0xED:
+		return decodeED(b)
+	case 0xD3: // IOI prefix
+		inner, n := decodeOne(b[1:], addr+1)
+		if n == 0 {
+			return "", 0
+		}
+		return "ioi " + inner, 1 + n
+	}
+	return decodeMain(b, addr, "hl", "")
+}
+
+func imm8(b []byte, i int) (uint8, bool) {
+	if i >= len(b) {
+		return 0, false
+	}
+	return b[i], true
+}
+
+func imm16(b []byte, i int) (uint16, bool) {
+	if i+1 >= len(b) {
+		return 0, false
+	}
+	return uint16(b[i]) | uint16(b[i+1])<<8, true
+}
+
+// decodeMain decodes an unprefixed (or index-remapped) opcode.
+// hlName replaces "hl", ind replaces "(hl)" (e.g. "(ix+5)").
+func decodeMain(b []byte, addr uint16, hlName, ind string) (string, int) {
+	op := b[0]
+	x, y, z := int(op>>6), int(op>>3&7), int(op&7)
+	p, q := y>>1, y&1
+	rn := func(i int) string {
+		if i == 6 && ind != "" {
+			return ind
+		}
+		if (i == 4 || i == 5) && hlName != "hl" {
+			// H/L halves of IX/IY are not modeled; keep plain names.
+			return r8Names[i]
+		}
+		return r8Names[i]
+	}
+	rpn := func(i int) string {
+		if i == 2 {
+			return hlName
+		}
+		return rpNames[i]
+	}
+	rp2n := func(i int) string {
+		if i == 2 {
+			return hlName
+		}
+		return rp2Names[i]
+	}
+	extra := 0
+	if ind != "" && strings.Contains(ind, "+") || ind != "" && strings.Contains(ind, "-") {
+		extra = 1 // displacement byte already consumed by caller's accounting
+	}
+	_ = extra
+
+	switch x {
+	case 1:
+		if y == 6 && z == 6 {
+			return "halt", 1
+		}
+		n := 1
+		if (y == 6 || z == 6) && ind != "" {
+			n = 2
+		}
+		return fmt.Sprintf("ld %s, %s", rn(y), rn(z)), n
+	case 2:
+		n := 1
+		if z == 6 && ind != "" {
+			n = 2
+		}
+		return fmt.Sprintf("%s %s", aluNames[y], rn(z)), n
+	}
+
+	if x == 0 {
+		switch z {
+		case 0:
+			switch y {
+			case 0:
+				return "nop", 1
+			case 1:
+				return "ex af, af'", 1
+			case 2, 3:
+				d, ok := imm8(b, 1)
+				if !ok {
+					return "", 0
+				}
+				target := addr + 2 + uint16(int16(int8(d)))
+				if y == 2 {
+					return fmt.Sprintf("djnz 0x%04x", target), 2
+				}
+				return fmt.Sprintf("jr 0x%04x", target), 2
+			default:
+				d, ok := imm8(b, 1)
+				if !ok {
+					return "", 0
+				}
+				target := addr + 2 + uint16(int16(int8(d)))
+				return fmt.Sprintf("jr %s, 0x%04x", condNames[y-4], target), 2
+			}
+		case 1:
+			if q == 0 {
+				v, ok := imm16(b, 1)
+				if !ok {
+					return "", 0
+				}
+				return fmt.Sprintf("ld %s, 0x%04x", rpn(p), v), 3
+			}
+			return fmt.Sprintf("add %s, %s", hlName, rpn(p)), 1
+		case 2:
+			switch y {
+			case 0:
+				return "ld (bc), a", 1
+			case 1:
+				return "ld a, (bc)", 1
+			case 2:
+				return "ld (de), a", 1
+			case 3:
+				return "ld a, (de)", 1
+			case 4, 5, 6, 7:
+				v, ok := imm16(b, 1)
+				if !ok {
+					return "", 0
+				}
+				switch y {
+				case 4:
+					return fmt.Sprintf("ld (0x%04x), %s", v, hlName), 3
+				case 5:
+					return fmt.Sprintf("ld %s, (0x%04x)", hlName, v), 3
+				case 6:
+					return fmt.Sprintf("ld (0x%04x), a", v), 3
+				default:
+					return fmt.Sprintf("ld a, (0x%04x)", v), 3
+				}
+			}
+		case 3:
+			if q == 0 {
+				return "inc " + rpn(p), 1
+			}
+			return "dec " + rpn(p), 1
+		case 4, 5:
+			mn := "inc"
+			if z == 5 {
+				mn = "dec"
+			}
+			n := 1
+			if y == 6 && ind != "" {
+				n = 2
+			}
+			return fmt.Sprintf("%s %s", mn, rn(y)), n
+		case 6:
+			if y == 6 && ind != "" {
+				v, ok := imm8(b, 2)
+				if !ok {
+					return "", 0
+				}
+				return fmt.Sprintf("ld %s, 0x%02x", rn(y), v), 3
+			}
+			v, ok := imm8(b, 1)
+			if !ok {
+				return "", 0
+			}
+			return fmt.Sprintf("ld %s, 0x%02x", rn(y), v), 2
+		case 7:
+			names := [8]string{"rlca", "rrca", "rla", "rra", "daa", "cpl", "scf", "ccf"}
+			return names[y], 1
+		}
+	}
+
+	// x == 3
+	switch z {
+	case 0:
+		return "ret " + condNames[y], 1
+	case 1:
+		if q == 0 {
+			return "pop " + rp2n(p), 1
+		}
+		switch p {
+		case 0:
+			return "ret", 1
+		case 1:
+			return "exx", 1
+		case 2:
+			return fmt.Sprintf("jp (%s)", hlName), 1
+		default:
+			return fmt.Sprintf("ld sp, %s", hlName), 1
+		}
+	case 2:
+		v, ok := imm16(b, 1)
+		if !ok {
+			return "", 0
+		}
+		return fmt.Sprintf("jp %s, 0x%04x", condNames[y], v), 3
+	case 3:
+		switch y {
+		case 0:
+			v, ok := imm16(b, 1)
+			if !ok {
+				return "", 0
+			}
+			return fmt.Sprintf("jp 0x%04x", v), 3
+		case 4:
+			return fmt.Sprintf("ex (sp), %s", hlName), 1
+		case 5:
+			return "ex de, hl", 1
+		case 6:
+			return "di", 1
+		case 7:
+			return "ei", 1
+		}
+		return "", 0
+	case 4:
+		v, ok := imm16(b, 1)
+		if !ok {
+			return "", 0
+		}
+		return fmt.Sprintf("call %s, 0x%04x", condNames[y], v), 3
+	case 5:
+		if q == 0 {
+			return "push " + rp2n(p), 1
+		}
+		if p == 0 {
+			v, ok := imm16(b, 1)
+			if !ok {
+				return "", 0
+			}
+			return fmt.Sprintf("call 0x%04x", v), 3
+		}
+		return "", 0 // DD/ED/FD handled by caller
+	case 6:
+		v, ok := imm8(b, 1)
+		if !ok {
+			return "", 0
+		}
+		return fmt.Sprintf("%s 0x%02x", aluNames[y], v), 2
+	case 7:
+		return fmt.Sprintf("rst 0x%02x", y*8), 1
+	}
+	return "", 0
+}
+
+func decodeCB(b []byte, ind string) (string, int) {
+	if len(b) < 2 {
+		return "", 0
+	}
+	op := b[1]
+	x, y, z := int(op>>6), int(op>>3&7), int(op&7)
+	operand := r8Names[z]
+	if ind != "" {
+		operand = ind
+	}
+	switch x {
+	case 0:
+		return fmt.Sprintf("%s %s", rotNames[y], operand), 2
+	case 1:
+		return fmt.Sprintf("bit %d, %s", y, operand), 2
+	case 2:
+		return fmt.Sprintf("res %d, %s", y, operand), 2
+	default:
+		return fmt.Sprintf("set %d, %s", y, operand), 2
+	}
+}
+
+func decodeIndexed(b []byte, reg string, addr uint16) (string, int) {
+	if len(b) < 2 {
+		return "", 0
+	}
+	op := b[1]
+	dispStr := func(d int8) string {
+		if d < 0 {
+			return fmt.Sprintf("(%s-%d)", reg, -int(d))
+		}
+		return fmt.Sprintf("(%s+%d)", reg, d)
+	}
+	if op == 0xCB {
+		if len(b) < 4 {
+			return "", 0
+		}
+		d := int8(b[2])
+		text, _ := decodeCB([]byte{0xCB, b[3]}, dispStr(d))
+		return text, 4
+	}
+	// Instructions with a displacement byte: any using operand 6.
+	x, y, z := int(op>>6), int(op>>3&7), int(op&7)
+	usesInd := (x == 1 && (y == 6 || z == 6) && !(y == 6 && z == 6)) ||
+		(x == 2 && z == 6) ||
+		(x == 0 && (z == 4 || z == 5) && y == 6) ||
+		(x == 0 && z == 6 && y == 6)
+	if usesInd {
+		if len(b) < 3 {
+			return "", 0
+		}
+		d := int8(b[2])
+		text, n := decodeMain(b[1:], addr+1, reg, dispStr(d))
+		if n == 0 {
+			return "", 0
+		}
+		return text, 1 + n
+	}
+	text, n := decodeMain(b[1:], addr+1, reg, "")
+	if n == 0 {
+		return "", 0
+	}
+	return text, 1 + n
+}
+
+func decodeED(b []byte) (string, int) {
+	if len(b) < 2 {
+		return "", 0
+	}
+	op := b[1]
+	switch op {
+	case 0x44:
+		return "neg", 2
+	case 0x4D:
+		return "reti", 2
+	case 0xA0:
+		return "ldi", 2
+	case 0xA8:
+		return "ldd", 2
+	case 0xB0:
+		return "ldir", 2
+	case 0xB8:
+		return "lddr", 2
+	}
+	p := int(op >> 4 & 3)
+	switch op & 0xCF {
+	case 0x42:
+		return "sbc hl, " + rpNames[p], 2
+	case 0x4A:
+		return "adc hl, " + rpNames[p], 2
+	case 0x43, 0x4B:
+		v, ok := imm16(b, 2)
+		if !ok {
+			return "", 0
+		}
+		if op&0x08 == 0 {
+			return fmt.Sprintf("ld (0x%04x), %s", v, rpNames[p]), 4
+		}
+		return fmt.Sprintf("ld %s, (0x%04x)", rpNames[p], v), 4
+	}
+	return "", 0
+}

@@ -1,0 +1,167 @@
+package rasm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDisassembleKnownBytes(t *testing.T) {
+	cases := []struct {
+		bytes []byte
+		want  string
+	}{
+		{[]byte{0x00}, "nop"},
+		{[]byte{0x76}, "halt"},
+		{[]byte{0x3E, 0x42}, "ld a, 0x42"},
+		{[]byte{0x41}, "ld b, c"},
+		{[]byte{0x7E}, "ld a, (hl)"},
+		{[]byte{0x36, 0x05}, "ld (hl), 0x05"},
+		{[]byte{0x21, 0x34, 0x12}, "ld hl, 0x1234"},
+		{[]byte{0x3A, 0x00, 0x40}, "ld a, (0x4000)"},
+		{[]byte{0x80}, "add a, b"},
+		{[]byte{0xC6, 0x07}, "add a, 0x07"},
+		{[]byte{0xD6, 0x03}, "sub 0x03"},
+		{[]byte{0xFE, 0x10}, "cp 0x10"},
+		{[]byte{0x19}, "add hl, de"},
+		{[]byte{0xED, 0x42}, "sbc hl, bc"},
+		{[]byte{0x3C}, "inc a"},
+		{[]byte{0x35}, "dec (hl)"},
+		{[]byte{0xC5}, "push bc"},
+		{[]byte{0xF1}, "pop af"},
+		{[]byte{0xEB}, "ex de, hl"},
+		{[]byte{0xD9}, "exx"},
+		{[]byte{0xC3, 0x34, 0x12}, "jp 0x1234"},
+		{[]byte{0xC2, 0x34, 0x12}, "jp nz, 0x1234"},
+		{[]byte{0xE9}, "jp (hl)"},
+		{[]byte{0xCD, 0x34, 0x12}, "call 0x1234"},
+		{[]byte{0xC9}, "ret"},
+		{[]byte{0xD0}, "ret nc"},
+		{[]byte{0xCB, 0x3F}, "srl a"},
+		{[]byte{0xCB, 0x5F}, "bit 3, a"},
+		{[]byte{0xCB, 0xC6}, "set 0, (hl)"},
+		{[]byte{0xED, 0xB0}, "ldir"},
+		{[]byte{0xED, 0x44}, "neg"},
+		{[]byte{0xED, 0x4D}, "reti"},
+		{[]byte{0xDD, 0x7E, 0x05}, "ld a, (ix+5)"},
+		{[]byte{0xFD, 0x70, 0xFE}, "ld (iy-2), b"},
+		{[]byte{0xDD, 0x21, 0x00, 0x40}, "ld ix, 0x4000"},
+		{[]byte{0xDD, 0x34, 0x03}, "inc (ix+3)"},
+		{[]byte{0xDD, 0xCB, 0x02, 0x16}, "rl (ix+2)"},
+		{[]byte{0xDD, 0x36, 0x01, 0x33}, "ld (ix+1), 0x33"},
+		{[]byte{0xD3, 0x3A, 0x55, 0x01}, "ioi ld a, (0x0155)"},
+		{[]byte{0xED, 0x4B, 0x00, 0x60}, "ld bc, (0x6000)"},
+		{[]byte{0xDF}, "rst 0x18"},
+	}
+	for _, tc := range cases {
+		insts := Disassemble(tc.bytes, 0)
+		if len(insts) != 1 {
+			t.Errorf("% x: decoded %d instructions", tc.bytes, len(insts))
+			continue
+		}
+		if insts[0].Text != tc.want {
+			t.Errorf("% x = %q, want %q", tc.bytes, insts[0].Text, tc.want)
+		}
+		if len(insts[0].Bytes) != len(tc.bytes) {
+			t.Errorf("% x: length %d, want %d", tc.bytes, len(insts[0].Bytes), len(tc.bytes))
+		}
+	}
+}
+
+func TestRelativeJumpTargets(t *testing.T) {
+	// djnz back to itself at address 0x100.
+	insts := Disassemble([]byte{0x10, 0xFE}, 0x100)
+	if insts[0].Text != "djnz 0x0100" {
+		t.Errorf("djnz = %q", insts[0].Text)
+	}
+	insts = Disassemble([]byte{0x20, 0x02}, 0x200) // jr nz,+2
+	if insts[0].Text != "jr nz, 0x0204" {
+		t.Errorf("jr = %q", insts[0].Text)
+	}
+}
+
+// TestRoundTrip: assemble a program, disassemble it, reassemble the
+// listing, and require identical bytes. This cross-validates encoder
+// and decoder against each other.
+func TestRoundTrip(t *testing.T) {
+	src := `
+        org 0
+        ld sp, 0xDFF0
+        ld hl, 0x4000
+        ld b, 16
+loop:   ld a, (hl)
+        xor 0x5A
+        ld (hl), a
+        inc hl
+        djnz loop
+        ld de, 0x5000
+        ld hl, 0x4000
+        ld bc, 16
+        ldir
+        call sub1
+        jp nz, done
+        ld a, 1
+done:   halt
+sub1:   push bc
+        ld a, (0x4000)
+        cp 0x10
+        call z, sub2
+        pop bc
+        ret
+sub2:   ioi ld (0x0120), a
+        ld ix, 0x4000
+        ld a, (ix+2)
+        inc (ix+3)
+        set 7, (hl)
+        sbc hl, de
+        neg
+        ret
+`
+	p1, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disassemble and rebuild a source from the listing.
+	var sb strings.Builder
+	sb.WriteString("        org 0\n")
+	for _, inst := range Disassemble(p1.Code, p1.Origin) {
+		sb.WriteString("        " + inst.Text + "\n")
+	}
+	p2, err := Assemble(sb.String())
+	if err != nil {
+		t.Fatalf("reassembly: %v\nlisting:\n%s", err, sb.String())
+	}
+	if !bytes.Equal(p1.Code, p2.Code) {
+		t.Errorf("round trip changed bytes:\n1: % x\n2: % x", p1.Code, p2.Code)
+	}
+}
+
+func TestListingFormat(t *testing.T) {
+	p, err := Assemble("ld a, 1\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Listing(p.Code, 0)
+	if !strings.Contains(l, "0000") || !strings.Contains(l, "ld a, 0x01") ||
+		!strings.Contains(l, "halt") {
+		t.Errorf("listing:\n%s", l)
+	}
+}
+
+func TestDisassembleGarbageDoesNotPanic(t *testing.T) {
+	// Truncated multi-byte instructions at the end of the buffer.
+	for _, garbage := range [][]byte{
+		{0xDD}, {0xED}, {0xCB}, {0xDD, 0xCB}, {0xDD, 0xCB, 0x01},
+		{0x21}, {0x21, 0x00}, {0xC3, 0x12}, {0xD3},
+		{0xED, 0xFF}, // unknown ED op
+	} {
+		insts := Disassemble(garbage, 0)
+		total := 0
+		for _, in := range insts {
+			total += len(in.Bytes)
+		}
+		if total != len(garbage) {
+			t.Errorf("% x: disassembly covered %d of %d bytes", garbage, total, len(garbage))
+		}
+	}
+}

@@ -1,0 +1,575 @@
+package rasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Operand kinds after classification.
+type opKind int
+
+const (
+	opNone   opKind = iota
+	opReg8          // a b c d e h l
+	opIndHL         // (hl)
+	opIndBC         // (bc)
+	opIndDE         // (de)
+	opIndSP         // (sp)
+	opIndIX         // (ix+d)
+	opIndIY         // (iy+d)
+	opIndImm        // (expr)
+	opReg16         // bc de hl sp af ix iy
+	opImm           // expression
+	opCond          // nz z nc c po pe p m — contextual
+)
+
+type operand struct {
+	kind opKind
+	reg  int    // r8 index or rp index; for reg16: 0=bc 1=de 2=hl 3=sp 4=af 5=ix 6=iy
+	expr string // for imm / indImm / index displacement
+}
+
+var r8Index = map[string]int{"b": 0, "c": 1, "d": 2, "e": 3, "h": 4, "l": 5, "a": 7}
+var rpIndex = map[string]int{"bc": 0, "de": 1, "hl": 2, "sp": 3, "af": 4, "ix": 5, "iy": 6}
+var condIndex = map[string]int{"nz": 0, "z": 1, "nc": 2, "c": 3, "po": 4, "pe": 5, "p": 6, "m": 7}
+
+func classify(s string) operand {
+	t := strings.ToLower(strings.TrimSpace(s))
+	if t == "" {
+		return operand{kind: opNone}
+	}
+	if i, ok := r8Index[t]; ok {
+		return operand{kind: opReg8, reg: i}
+	}
+	if i, ok := rpIndex[t]; ok {
+		return operand{kind: opReg16, reg: i}
+	}
+	if t == "af'" {
+		return operand{kind: opReg16, reg: 4, expr: "alt"}
+	}
+	if strings.HasPrefix(t, "(") && strings.HasSuffix(t, ")") {
+		inner := strings.TrimSpace(t[1 : len(t)-1])
+		switch inner {
+		case "hl":
+			return operand{kind: opIndHL, reg: 6}
+		case "bc":
+			return operand{kind: opIndBC}
+		case "de":
+			return operand{kind: opIndDE}
+		case "sp":
+			return operand{kind: opIndSP}
+		case "ix":
+			return operand{kind: opIndIX, expr: "0"}
+		case "iy":
+			return operand{kind: opIndIY, expr: "0"}
+		}
+		if strings.HasPrefix(inner, "ix") {
+			return operand{kind: opIndIX, expr: dispExpr(inner[2:])}
+		}
+		if strings.HasPrefix(inner, "iy") {
+			return operand{kind: opIndIY, expr: dispExpr(inner[2:])}
+		}
+		// Preserve original case for symbol lookup.
+		orig := strings.TrimSpace(s)
+		return operand{kind: opIndImm, expr: strings.TrimSpace(orig[1 : len(orig)-1])}
+	}
+	return operand{kind: opImm, expr: strings.TrimSpace(s)}
+}
+
+func dispExpr(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "+")
+	if s == "" {
+		return "0"
+	}
+	return s // a leading '-' is handled by the expression evaluator
+}
+
+// instruction encodes one mnemonic with operands.
+func (a *assembler) instruction(mnem string, rawOps []string) error {
+	ops := make([]operand, len(rawOps))
+	for i, r := range rawOps {
+		ops[i] = classify(r)
+	}
+	get := func(i int) operand {
+		if i < len(ops) {
+			return ops[i]
+		}
+		return operand{kind: opNone}
+	}
+	o1, o2 := get(0), get(1)
+
+	// r8-or-memory source/destination index (the z80 "r" field);
+	// returns index, prefix bytes for ix/iy, displacement expr, ok.
+	rIdx := func(o operand) (int, byte, string, bool) {
+		switch o.kind {
+		case opReg8:
+			return o.reg, 0, "", true
+		case opIndHL:
+			return 6, 0, "", true
+		case opIndIX:
+			return 6, 0xDD, o.expr, true
+		case opIndIY:
+			return 6, 0xFD, o.expr, true
+		}
+		return 0, 0, "", false
+	}
+
+	emitIdx := func(prefix byte, disp string, opcode ...byte) {
+		if prefix != 0 {
+			a.emit(prefix)
+		}
+		a.emit(opcode...)
+		if prefix != 0 {
+			a.emitExpr8(disp)
+		}
+	}
+
+	switch mnem {
+	case "nop":
+		a.emit(0x00)
+	case "halt":
+		a.emit(0x76)
+	case "di":
+		a.emit(0xF3)
+	case "ei":
+		a.emit(0xFB)
+	case "rlca":
+		a.emit(0x07)
+	case "rrca":
+		a.emit(0x0F)
+	case "rla":
+		a.emit(0x17)
+	case "rra":
+		a.emit(0x1F)
+	case "daa":
+		a.emit(0x27)
+	case "cpl":
+		a.emit(0x2F)
+	case "scf":
+		a.emit(0x37)
+	case "ccf":
+		a.emit(0x3F)
+	case "exx":
+		a.emit(0xD9)
+	case "neg":
+		a.emit(0xED, 0x44)
+	case "reti":
+		a.emit(0xED, 0x4D)
+	case "ldi":
+		a.emit(0xED, 0xA0)
+	case "ldd":
+		a.emit(0xED, 0xA8)
+	case "ldir":
+		a.emit(0xED, 0xB0)
+	case "lddr":
+		a.emit(0xED, 0xB8)
+
+	case "ld":
+		return a.encodeLD(o1, o2, rIdx, emitIdx)
+
+	case "push", "pop":
+		if o1.kind != opReg16 {
+			return fmt.Errorf("%s needs a register pair", mnem)
+		}
+		base := byte(0xC5) // push
+		if mnem == "pop" {
+			base = 0xC1
+		}
+		switch o1.reg {
+		case 0, 1, 2:
+			a.emit(base | byte(o1.reg)<<4)
+		case 4: // af
+			a.emit(base | 3<<4)
+		case 5:
+			a.emit(0xDD, base|2<<4)
+		case 6:
+			a.emit(0xFD, base|2<<4)
+		default:
+			return fmt.Errorf("cannot %s sp", mnem)
+		}
+
+	case "ex":
+		switch {
+		case o1.kind == opReg16 && o1.reg == 1 && o2.kind == opReg16 && o2.reg == 2: // ex de,hl
+			a.emit(0xEB)
+		case o1.kind == opReg16 && o1.reg == 4: // ex af,af'
+			a.emit(0x08)
+		case o1.kind == opIndSP && o2.kind == opReg16 && o2.reg == 2:
+			a.emit(0xE3)
+		case o1.kind == opIndSP && o2.kind == opReg16 && o2.reg == 5:
+			a.emit(0xDD, 0xE3)
+		case o1.kind == opIndSP && o2.kind == opReg16 && o2.reg == 6:
+			a.emit(0xFD, 0xE3)
+		default:
+			return fmt.Errorf("unsupported ex form")
+		}
+
+	case "add", "adc", "sub", "sbc", "and", "xor", "or", "cp":
+		return a.encodeALU(mnem, o1, o2, rIdx, emitIdx)
+
+	case "inc", "dec":
+		isInc := mnem == "inc"
+		if o1.kind == opReg16 {
+			switch o1.reg {
+			case 0, 1, 2, 3:
+				op := byte(0x03)
+				if !isInc {
+					op = 0x0B
+				}
+				a.emit(op | byte(o1.reg)<<4)
+			case 5:
+				if isInc {
+					a.emit(0xDD, 0x23)
+				} else {
+					a.emit(0xDD, 0x2B)
+				}
+			case 6:
+				if isInc {
+					a.emit(0xFD, 0x23)
+				} else {
+					a.emit(0xFD, 0x2B)
+				}
+			default:
+				return fmt.Errorf("cannot %s af", mnem)
+			}
+			return nil
+		}
+		if r, pfx, disp, ok := rIdx(o1); ok {
+			op := byte(0x04)
+			if !isInc {
+				op = 0x05
+			}
+			emitIdx(pfx, disp, op|byte(r)<<3)
+			return nil
+		}
+		return fmt.Errorf("bad %s operand", mnem)
+
+	case "rlc", "rrc", "rl", "rr", "sla", "sra", "sll", "srl":
+		rotMap := map[string]int{"rlc": 0, "rrc": 1, "rl": 2, "rr": 3, "sla": 4, "sra": 5, "sll": 6, "srl": 7}
+		y := rotMap[mnem]
+		r, pfx, disp, ok := rIdx(o1)
+		if !ok {
+			return fmt.Errorf("bad %s operand", mnem)
+		}
+		if pfx != 0 {
+			a.emit(pfx, 0xCB)
+			a.emitExpr8(disp)
+			a.emit(byte(y<<3 | 6))
+		} else {
+			a.emit(0xCB, byte(y<<3|r))
+		}
+
+	case "bit", "res", "set":
+		n, err := a.eval(o1.expr)
+		if err != nil || n > 7 {
+			return fmt.Errorf("bad bit number %q", o1.expr)
+		}
+		xMap := map[string]int{"bit": 1, "res": 2, "set": 3}
+		x := xMap[mnem]
+		r, pfx, disp, ok := rIdx(o2)
+		if !ok {
+			return fmt.Errorf("bad %s operand", mnem)
+		}
+		if pfx != 0 {
+			a.emit(pfx, 0xCB)
+			a.emitExpr8(disp)
+			a.emit(byte(x<<6 | int(n)<<3 | 6))
+		} else {
+			a.emit(0xCB, byte(x<<6|int(n)<<3|r))
+		}
+
+	case "jp":
+		switch {
+		case o1.kind == opIndHL || (o1.kind == opIndImm && strings.EqualFold(o1.expr, "hl")):
+			a.emit(0xE9)
+		case o1.kind == opIndIX:
+			a.emit(0xDD, 0xE9)
+		case o1.kind == opIndIY:
+			a.emit(0xFD, 0xE9)
+		case o2.kind == opNone:
+			a.emit(0xC3)
+			a.emitExpr16(o1.expr)
+		default:
+			cc, err := condOf(o1)
+			if err != nil {
+				return err
+			}
+			a.emit(0xC2 | byte(cc)<<3)
+			a.emitExpr16(o2.expr)
+		}
+
+	case "jr":
+		if o2.kind == opNone {
+			a.emit(0x18)
+			a.emitRel(o1.expr)
+		} else {
+			cc, err := condOf(o1)
+			if err != nil {
+				return err
+			}
+			if cc > 3 {
+				return fmt.Errorf("jr supports only nz/z/nc/c")
+			}
+			a.emit(0x20 | byte(cc)<<3)
+			a.emitRel(o2.expr)
+		}
+
+	case "djnz":
+		a.emit(0x10)
+		a.emitRel(o1.expr)
+
+	case "call":
+		if o2.kind == opNone {
+			a.emit(0xCD)
+			a.emitExpr16(o1.expr)
+		} else {
+			cc, err := condOf(o1)
+			if err != nil {
+				return err
+			}
+			a.emit(0xC4 | byte(cc)<<3)
+			a.emitExpr16(o2.expr)
+		}
+
+	case "ret":
+		if o1.kind == opNone {
+			a.emit(0xC9)
+		} else {
+			cc, err := condOf(o1)
+			if err != nil {
+				return err
+			}
+			a.emit(0xC0 | byte(cc)<<3)
+		}
+
+	case "rst":
+		v, err := a.eval(o1.expr)
+		if err != nil || v%8 != 0 || v > 0x38 {
+			return fmt.Errorf("bad rst target %q", o1.expr)
+		}
+		a.emit(0xC7 | byte(v))
+
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	return nil
+}
+
+// condOf interprets an operand as a condition code. Note "c" collides
+// with register C; in jp/jr/call/ret position it is the carry condition.
+func condOf(o operand) (int, error) {
+	name := ""
+	switch o.kind {
+	case opReg8:
+		// "c" classified as register; map back.
+		for n, i := range r8Index {
+			if i == o.reg {
+				name = n
+			}
+		}
+	case opImm:
+		name = strings.ToLower(o.expr)
+	}
+	if cc, ok := condIndex[name]; ok {
+		return cc, nil
+	}
+	return 0, fmt.Errorf("bad condition %q", name)
+}
+
+func (a *assembler) encodeLD(o1, o2 operand,
+	rIdx func(operand) (int, byte, string, bool),
+	emitIdx func(byte, string, ...byte)) error {
+
+	// ld rp,nn / ld rp,(nn) / ld (nn),rp / ld sp,hl|ix|iy
+	if o1.kind == opReg16 {
+		switch {
+		case o2.kind == opImm:
+			switch o1.reg {
+			case 0, 1, 2, 3:
+				a.emit(0x01 | byte(o1.reg)<<4)
+			case 5:
+				a.emit(0xDD, 0x21)
+			case 6:
+				a.emit(0xFD, 0x21)
+			default:
+				return fmt.Errorf("cannot ld af,nn")
+			}
+			a.emitExpr16(o2.expr)
+			return nil
+		case o2.kind == opIndImm:
+			switch o1.reg {
+			case 2: // ld hl,(nn)
+				a.emit(0x2A)
+			case 0:
+				a.emit(0xED, 0x4B)
+			case 1:
+				a.emit(0xED, 0x5B)
+			case 3:
+				a.emit(0xED, 0x7B)
+			case 5:
+				a.emit(0xDD, 0x2A)
+			case 6:
+				a.emit(0xFD, 0x2A)
+			default:
+				return fmt.Errorf("bad ld rp,(nn)")
+			}
+			a.emitExpr16(o2.expr)
+			return nil
+		case o1.reg == 3 && o2.kind == opReg16: // ld sp,hl/ix/iy
+			switch o2.reg {
+			case 2:
+				a.emit(0xF9)
+			case 5:
+				a.emit(0xDD, 0xF9)
+			case 6:
+				a.emit(0xFD, 0xF9)
+			default:
+				return fmt.Errorf("bad ld sp,rr")
+			}
+			return nil
+		}
+		return fmt.Errorf("unsupported ld %v", o1.reg)
+	}
+	if o1.kind == opIndImm && o2.kind == opReg16 {
+		switch o2.reg {
+		case 2:
+			a.emit(0x22)
+		case 0:
+			a.emit(0xED, 0x43)
+		case 1:
+			a.emit(0xED, 0x53)
+		case 3:
+			a.emit(0xED, 0x73)
+		case 5:
+			a.emit(0xDD, 0x22)
+		case 6:
+			a.emit(0xFD, 0x22)
+		default:
+			return fmt.Errorf("bad ld (nn),rp")
+		}
+		a.emitExpr16(o1.expr)
+		return nil
+	}
+
+	// ld a,(bc)/(de)/(nn) and stores.
+	if o1.kind == opReg8 && o1.reg == 7 {
+		switch o2.kind {
+		case opIndBC:
+			a.emit(0x0A)
+			return nil
+		case opIndDE:
+			a.emit(0x1A)
+			return nil
+		case opIndImm:
+			a.emit(0x3A)
+			a.emitExpr16(o2.expr)
+			return nil
+		}
+	}
+	if o2.kind == opReg8 && o2.reg == 7 {
+		switch o1.kind {
+		case opIndBC:
+			a.emit(0x02)
+			return nil
+		case opIndDE:
+			a.emit(0x12)
+			return nil
+		case opIndImm:
+			a.emit(0x32)
+			a.emitExpr16(o1.expr)
+			return nil
+		}
+	}
+
+	// ld r,r' / r,(hl|ix|iy) / (hl|ix|iy),r / r,n / (hl|ix|iy),n
+	d1, p1, disp1, ok1 := rIdx(o1)
+	d2, p2, disp2, ok2 := rIdx(o2)
+	switch {
+	case ok1 && ok2:
+		if d1 == 6 && d2 == 6 {
+			return fmt.Errorf("ld (hl),(hl) is invalid")
+		}
+		pfx, disp := p1, disp1
+		if pfx == 0 {
+			pfx, disp = p2, disp2
+		}
+		emitIdx(pfx, disp, 0x40|byte(d1)<<3|byte(d2))
+		return nil
+	case ok1 && o2.kind == opImm:
+		if p1 != 0 {
+			// ld (ix+d),n: prefix 36 d n
+			a.emit(p1, 0x36)
+			a.emitExpr8(disp1)
+			a.emitExpr8(o2.expr)
+			return nil
+		}
+		a.emit(0x06 | byte(d1)<<3)
+		a.emitExpr8(o2.expr)
+		return nil
+	}
+	return fmt.Errorf("unsupported ld form")
+}
+
+func (a *assembler) encodeALU(mnem string, o1, o2 operand,
+	rIdx func(operand) (int, byte, string, bool),
+	emitIdx func(byte, string, ...byte)) error {
+
+	aluY := map[string]int{"add": 0, "adc": 1, "sub": 2, "sbc": 3, "and": 4, "xor": 5, "or": 6, "cp": 7}
+	y := aluY[mnem]
+
+	// 16-bit forms: add hl,rp / adc hl,rp / sbc hl,rp / add ix,rp
+	if o1.kind == opReg16 && (o1.reg == 2 || o1.reg == 5 || o1.reg == 6) && o2.kind == opReg16 {
+		rp := o2.reg
+		if rp > 3 && rp != o1.reg {
+			return fmt.Errorf("bad 16-bit %s operand", mnem)
+		}
+		if rp > 3 {
+			rp = 2 // add ix,ix encodes as rp=hl slot
+		}
+		switch mnem {
+		case "add":
+			switch o1.reg {
+			case 2:
+				a.emit(0x09 | byte(rp)<<4)
+			case 5:
+				a.emit(0xDD, 0x09|byte(rp)<<4)
+			case 6:
+				a.emit(0xFD, 0x09|byte(rp)<<4)
+			}
+			return nil
+		case "adc":
+			if o1.reg != 2 {
+				return fmt.Errorf("adc only with hl")
+			}
+			a.emit(0xED, 0x4A|byte(rp)<<4)
+			return nil
+		case "sbc":
+			if o1.reg != 2 {
+				return fmt.Errorf("sbc only with hl")
+			}
+			a.emit(0xED, 0x42|byte(rp)<<4)
+			return nil
+		}
+		return fmt.Errorf("bad 16-bit %s", mnem)
+	}
+
+	// Normalize: "add a,x" and "add x" both accepted.
+	src := o2
+	if o2.kind == opNone {
+		src = o1
+	} else if !(o1.kind == opReg8 && o1.reg == 7) {
+		return fmt.Errorf("%s destination must be a", mnem)
+	}
+
+	if r, pfx, disp, ok := rIdx(src); ok {
+		emitIdx(pfx, disp, 0x80|byte(y)<<3|byte(r))
+		return nil
+	}
+	if src.kind == opImm {
+		a.emit(0xC6 | byte(y)<<3)
+		a.emitExpr8(src.expr)
+		return nil
+	}
+	return fmt.Errorf("bad %s operand", mnem)
+}

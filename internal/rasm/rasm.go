@@ -1,0 +1,390 @@
+// Package rasm is a two-pass assembler for the Rabbit 2000 simulator's
+// instruction set, in classic Z80/Dynamic-C-inline-assembly syntax:
+//
+//	        org  0x0000
+//	start:  ld   hl, message      ; comment
+//	        ld   b, LEN
+//	loop:   ld   a, (hl)
+//	        inc  hl
+//	        djnz loop
+//	        halt
+//	message: db "hello", 0
+//	LEN     equ 5
+//
+// It exists so the hand-written AES implementation (asm/aes128.asm) —
+// the counterpart of the vendor-supplied assembly AES the paper
+// benchmarked against — can be assembled and run on the CPU simulator,
+// and so the Dynamic C compiler (internal/dcc) has a backend target.
+package rasm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled image.
+type Program struct {
+	// Origin is the load address of the first byte of Code.
+	Origin uint16
+	// Code is the image, contiguous from Origin (ds gaps are zero).
+	Code []byte
+	// Symbols maps labels and equ names to values.
+	Symbols map[string]uint16
+}
+
+// Size returns the code size in bytes (the paper's E3 metric).
+func (p *Program) Size() int { return len(p.Code) }
+
+// ErrAssemble wraps all assembly errors.
+var ErrAssemble = errors.New("rasm: assembly error")
+
+type fixup struct {
+	offset int    // position in code needing a patch
+	expr   string // expression to resolve
+	kind   byte   // 'w' abs16, 'b' imm8, 'r' rel8 (from following addr)
+	line   int
+	pcAt   uint16 // instruction start, for "$" in deferred expressions
+}
+
+type assembler struct {
+	origin  uint16
+	pc      uint16
+	started bool
+	code    []byte
+	symbols map[string]uint16
+	fixups  []fixup
+	line    int
+	// lineStart is the address of the instruction being assembled;
+	// "$" evaluates to it.
+	lineStart uint16
+}
+
+// Assemble translates source text into a Program.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{symbols: map[string]uint16{}}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		if err := a.doLine(raw); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrAssemble, a.line, err)
+		}
+	}
+	// Pass 2: patch fixups.
+	for _, f := range a.fixups {
+		a.lineStart = f.pcAt
+		v, err := a.eval(f.expr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrAssemble, f.line, err)
+		}
+		switch f.kind {
+		case 'w':
+			a.code[f.offset] = byte(v)
+			a.code[f.offset+1] = byte(v >> 8)
+		case 'b':
+			if int16(v) > 255 || int16(v) < -128 {
+				return nil, fmt.Errorf("%w: line %d: value %d out of byte range", ErrAssemble, f.line, int16(v))
+			}
+			a.code[f.offset] = byte(v)
+		case 'r':
+			target := int32(v)
+			from := int32(a.origin) + int32(f.offset) + 1 // PC after displacement byte
+			disp := target - from
+			if disp < -128 || disp > 127 {
+				return nil, fmt.Errorf("%w: line %d: relative jump out of range (%d)", ErrAssemble, f.line, disp)
+			}
+			a.code[f.offset] = byte(disp)
+		}
+	}
+	return &Program{Origin: a.origin, Code: a.code, Symbols: a.symbols}, nil
+}
+
+// stripComment removes a ; comment, respecting character literals.
+func stripComment(s string) string {
+	inChar := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'', '"':
+			inChar = !inChar
+		case ';':
+			if !inChar {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (a *assembler) doLine(raw string) error {
+	line := strings.TrimSpace(stripComment(raw))
+	if line == "" {
+		return nil
+	}
+	// label:
+	if i := strings.Index(line, ":"); i >= 0 && isIdent(line[:i]) {
+		name := line[:i]
+		if _, dup := a.symbols[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		a.symbols[name] = a.pc
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	a.lineStart = a.pc
+	fields := strings.Fields(line)
+	mnem := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+
+	// NAME equ VALUE
+	if len(fields) >= 3 && strings.ToLower(fields[1]) == "equ" {
+		v, err := a.eval(strings.TrimSpace(rest[len(fields[1]):]))
+		if err != nil {
+			return err
+		}
+		if _, dup := a.symbols[fields[0]]; dup {
+			return fmt.Errorf("duplicate symbol %q", fields[0])
+		}
+		a.symbols[fields[0]] = v
+		return nil
+	}
+
+	switch mnem {
+	case "org":
+		v, err := a.eval(rest)
+		if err != nil {
+			return err
+		}
+		if a.started {
+			if v < a.pc {
+				return fmt.Errorf("org backwards (%04x < %04x)", v, a.pc)
+			}
+			a.pad(int(v - a.pc))
+		} else {
+			a.origin = v
+			a.started = true
+		}
+		a.pc = v
+		return nil
+	case "db":
+		return a.doDB(rest)
+	case "dw":
+		return a.doDW(rest)
+	case "ds":
+		v, err := a.eval(rest)
+		if err != nil {
+			return err
+		}
+		a.pad(int(v))
+		return nil
+	case "ioi":
+		// Prefix: emit 0xD3, then assemble the rest of the line.
+		a.emit(0xD3)
+		if rest == "" {
+			return errors.New("ioi prefix needs an instruction")
+		}
+		return a.doLine(rest)
+	}
+	a.started = true
+	return a.instruction(mnem, splitOperands(rest))
+}
+
+func (a *assembler) pad(n int) {
+	a.code = append(a.code, make([]byte, n)...)
+	a.pc += uint16(n)
+	a.started = true
+}
+
+func (a *assembler) emit(bs ...byte) {
+	a.code = append(a.code, bs...)
+	a.pc += uint16(len(bs))
+	a.started = true
+}
+
+func (a *assembler) doDB(rest string) error {
+	for _, part := range splitOperands(rest) {
+		if len(part) >= 2 && (part[0] == '"') {
+			if part[len(part)-1] != '"' {
+				return fmt.Errorf("unterminated string %s", part)
+			}
+			a.emit([]byte(part[1 : len(part)-1])...)
+			continue
+		}
+		a.emitExpr8(part)
+	}
+	return nil
+}
+
+func (a *assembler) doDW(rest string) error {
+	for _, part := range splitOperands(rest) {
+		a.emitExpr16(part)
+	}
+	return nil
+}
+
+// emitExpr8 emits one byte, deferring to pass 2 if not yet resolvable.
+func (a *assembler) emitExpr8(expr string) {
+	if v, err := a.eval(expr); err == nil {
+		a.emit(byte(v))
+		return
+	}
+	a.fixups = append(a.fixups, fixup{offset: len(a.code), expr: expr, kind: 'b', line: a.line, pcAt: a.lineStart})
+	a.emit(0)
+}
+
+func (a *assembler) emitExpr16(expr string) {
+	if v, err := a.eval(expr); err == nil {
+		a.emit(byte(v), byte(v>>8))
+		return
+	}
+	a.fixups = append(a.fixups, fixup{offset: len(a.code), expr: expr, kind: 'w', line: a.line, pcAt: a.lineStart})
+	a.emit(0, 0)
+}
+
+func (a *assembler) emitRel(expr string) {
+	a.fixups = append(a.fixups, fixup{offset: len(a.code), expr: expr, kind: 'r', line: a.line, pcAt: a.lineStart})
+	a.emit(0)
+}
+
+// splitOperands splits on commas outside parens and quotes.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"', '\'':
+			inStr = !inStr
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// eval evaluates number / symbol / simple +- chains.
+func (a *assembler) eval(expr string) (uint16, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return 0, errors.New("empty expression")
+	}
+	// Split on top-level + and - (left to right).
+	total := int32(0)
+	sign := int32(1)
+	tok := strings.Builder{}
+	flush := func() error {
+		t := strings.TrimSpace(tok.String())
+		tok.Reset()
+		if t == "" {
+			return errors.New("bad expression")
+		}
+		v, err := a.term(t)
+		if err != nil {
+			return err
+		}
+		total += sign * int32(v)
+		return nil
+	}
+	for i := 0; i < len(expr); i++ {
+		ch := expr[i]
+		if (ch == '+' || ch == '-') && tok.Len() > 0 {
+			if err := flush(); err != nil {
+				return 0, err
+			}
+			if ch == '+' {
+				sign = 1
+			} else {
+				sign = -1
+			}
+			continue
+		}
+		tok.WriteByte(ch)
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	return uint16(total), nil
+}
+
+func (a *assembler) term(t string) (uint16, error) {
+	// Character literal.
+	if len(t) == 3 && t[0] == '\'' && t[2] == '\'' {
+		return uint16(t[1]), nil
+	}
+	// Current location: the start of the instruction being assembled.
+	if t == "$" {
+		return a.lineStart, nil
+	}
+	// Number.
+	if v, err := parseNumber(t); err == nil {
+		return v, nil
+	}
+	// Symbol.
+	if v, ok := a.symbols[t]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("undefined symbol %q", t)
+}
+
+func parseNumber(t string) (uint16, error) {
+	neg := false
+	if strings.HasPrefix(t, "-") {
+		neg = true
+		t = t[1:]
+	}
+	var v uint64
+	var err error
+	switch {
+	case strings.HasPrefix(t, "0x") || strings.HasPrefix(t, "0X"):
+		v, err = strconv.ParseUint(t[2:], 16, 17)
+	case strings.HasSuffix(t, "h") || strings.HasSuffix(t, "H"):
+		v, err = strconv.ParseUint(t[:len(t)-1], 16, 17)
+	case strings.HasPrefix(t, "0b"):
+		v, err = strconv.ParseUint(t[2:], 2, 17)
+	default:
+		v, err = strconv.ParseUint(t, 10, 17)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return uint16(-int32(v)), nil
+	}
+	return uint16(v), nil
+}

@@ -1,0 +1,293 @@
+package rasm
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/rabbit"
+)
+
+func assemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+// execute assembles, loads at the program origin, and runs to HALT.
+func execute(t *testing.T, src string) *rabbit.CPU {
+	t.Helper()
+	p := assemble(t, src)
+	c := rabbit.New()
+	c.Mem.LoadPhysical(uint32(p.Origin), p.Code)
+	c.PC = p.Origin
+	if err := c.Run(5_000_000); err != nil {
+		t.Fatalf("run: %v (%s)", err, c)
+	}
+	return c
+}
+
+func TestEncodingBytes(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []byte
+	}{
+		{"nop", []byte{0x00}},
+		{"halt", []byte{0x76}},
+		{"ld a, 0x42", []byte{0x3E, 0x42}},
+		{"ld b, c", []byte{0x41}},
+		{"ld a, (hl)", []byte{0x7E}},
+		{"ld (hl), a", []byte{0x77}},
+		{"ld (hl), 5", []byte{0x36, 0x05}},
+		{"ld hl, 0x1234", []byte{0x21, 0x34, 0x12}},
+		{"ld sp, hl", []byte{0xF9}},
+		{"ld a, (0x4000)", []byte{0x3A, 0x00, 0x40}},
+		{"ld (0x4000), a", []byte{0x32, 0x00, 0x40}},
+		{"ld hl, (0x4000)", []byte{0x2A, 0x00, 0x40}},
+		{"ld (0x4000), hl", []byte{0x22, 0x00, 0x40}},
+		{"ld bc, (0x4000)", []byte{0xED, 0x4B, 0x00, 0x40}},
+		{"ld a, (bc)", []byte{0x0A}},
+		{"ld (de), a", []byte{0x12}},
+		{"add a, b", []byte{0x80}},
+		{"add a, 7", []byte{0xC6, 0x07}},
+		{"adc a, (hl)", []byte{0x8E}},
+		{"sub 3", []byte{0xD6, 0x03}},
+		{"xor a", []byte{0xAF}},
+		{"cp 0x10", []byte{0xFE, 0x10}},
+		{"add hl, de", []byte{0x19}},
+		{"sbc hl, bc", []byte{0xED, 0x42}},
+		{"inc a", []byte{0x3C}},
+		{"dec (hl)", []byte{0x35}},
+		{"inc de", []byte{0x13}},
+		{"push bc", []byte{0xC5}},
+		{"pop af", []byte{0xF1}},
+		{"push ix", []byte{0xDD, 0xE5}},
+		{"ex de, hl", []byte{0xEB}},
+		{"ex af, af'", []byte{0x08}},
+		{"ex (sp), hl", []byte{0xE3}},
+		{"exx", []byte{0xD9}},
+		{"jp 0x1234", []byte{0xC3, 0x34, 0x12}},
+		{"jp nz, 0x1234", []byte{0xC2, 0x34, 0x12}},
+		{"jp c, 0x1234", []byte{0xDA, 0x34, 0x12}},
+		{"jp (hl)", []byte{0xE9}},
+		{"call 0x1234", []byte{0xCD, 0x34, 0x12}},
+		{"call z, 0x1234", []byte{0xCC, 0x34, 0x12}},
+		{"ret", []byte{0xC9}},
+		{"ret nc", []byte{0xD0}},
+		{"rst 0x18", []byte{0xDF}},
+		{"rlc b", []byte{0xCB, 0x00}},
+		{"srl a", []byte{0xCB, 0x3F}},
+		{"bit 3, a", []byte{0xCB, 0x5F}},
+		{"set 0, (hl)", []byte{0xCB, 0xC6}},
+		{"res 7, d", []byte{0xCB, 0xBA}},
+		{"ldir", []byte{0xED, 0xB0}},
+		{"neg", []byte{0xED, 0x44}},
+		{"ld a, (ix+5)", []byte{0xDD, 0x7E, 0x05}},
+		{"ld (iy-2), b", []byte{0xFD, 0x70, 0xFE}},
+		{"ld (ix+1), 0x33", []byte{0xDD, 0x36, 0x01, 0x33}},
+		{"ld ix, 0x4000", []byte{0xDD, 0x21, 0x00, 0x40}},
+		{"add ix, bc", []byte{0xDD, 0x09}},
+		{"inc (ix+3)", []byte{0xDD, 0x34, 0x03}},
+		{"rl (ix+2)", []byte{0xDD, 0xCB, 0x02, 0x16}},
+		{"ioi ld a, (0x0155)", []byte{0xD3, 0x3A, 0x55, 0x01}},
+		{"djnz $", []byte{0x10, 0xFE}},
+	}
+	for _, tc := range cases {
+		p := assemble(t, tc.src)
+		if !bytes.Equal(p.Code, tc.want) {
+			t.Errorf("%q = % x, want % x", tc.src, p.Code, tc.want)
+		}
+	}
+}
+
+func TestLabelsAndJumps(t *testing.T) {
+	c := execute(t, `
+        org 0
+        ld b, 4
+        ld a, 0
+loop:   add a, b
+        djnz loop
+        halt
+`)
+	if c.A != 4+3+2+1 {
+		t.Errorf("A = %d, want 10", c.A)
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	c := execute(t, `
+        jp start
+junk:   db 0xFF, 0xFF
+start:  ld a, 0x55
+        halt
+`)
+	if c.A != 0x55 {
+		t.Errorf("A = %02x", c.A)
+	}
+}
+
+func TestEquAndExpressions(t *testing.T) {
+	p := assemble(t, `
+COUNT   equ 5
+BASE    equ 0x4000
+        ld b, COUNT
+        ld hl, BASE+2
+        ld a, COUNT-1
+        halt
+`)
+	want := []byte{0x06, 0x05, 0x21, 0x02, 0x40, 0x3E, 0x04, 0x76}
+	if !bytes.Equal(p.Code, want) {
+		t.Errorf("code = % x, want % x", p.Code, want)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := assemble(t, `
+        org 0x100
+        db 1, 2, 0x03, 'A'
+        dw 0x1234, label
+        ds 3
+label:  db "hi", 0
+`)
+	if p.Origin != 0x100 {
+		t.Errorf("origin = %04x", p.Origin)
+	}
+	labelAddr := p.Symbols["label"]
+	if labelAddr != 0x100+4+4+3 {
+		t.Errorf("label = %04x", labelAddr)
+	}
+	want := []byte{1, 2, 3, 'A', 0x34, 0x12, byte(labelAddr), byte(labelAddr >> 8), 0, 0, 0, 'h', 'i', 0}
+	if !bytes.Equal(p.Code, want) {
+		t.Errorf("code = % x, want % x", p.Code, want)
+	}
+}
+
+func TestCallingConvention(t *testing.T) {
+	c := execute(t, `
+        org 0
+        ld hl, 7
+        push hl
+        call double
+        pop bc        ; discard arg
+        halt
+double: push ix
+        ld ix, 0
+        add ix, sp
+        ld l, (ix+4)  ; low byte of arg
+        ld h, (ix+5)
+        add hl, hl
+        pop ix
+        ret
+`)
+	if c.A != 0 { // just ensure we ran; result is in HL
+		_ = c
+	}
+	hl := uint16(c.H)<<8 | uint16(c.L)
+	if hl != 14 {
+		t.Errorf("HL = %d, want 14", hl)
+	}
+}
+
+func TestMemcpyProgram(t *testing.T) {
+	p := assemble(t, `
+        org 0
+        ld hl, src
+        ld de, 0x5000
+        ld bc, srcend-src
+        ldir
+        halt
+src:    db "rabbit semiconductor"
+srcend:
+`)
+	c := rabbit.New()
+	c.Mem.LoadPhysical(0, p.Code)
+	if err := c.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 20)
+	for i := range got {
+		got[i] = c.Mem.Read(uint16(0x5000 + i))
+	}
+	if string(got) != "rabbit semiconductor" {
+		t.Errorf("copied %q", got)
+	}
+}
+
+func TestErrorReporting(t *testing.T) {
+	bad := []string{
+		"frobnicate a, b",      // unknown mnemonic
+		"ld a,",                // missing operand
+		"ld (hl), (hl)",        // invalid combination
+		"jr pe, somewhere",     // jr with parity condition
+		"label: \n label: nop", // duplicate label
+		"ld a, undefined_symbol",
+		"bit 9, a", // bit out of range
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%q assembled without error", src)
+		}
+	}
+}
+
+func TestRelativeJumpRange(t *testing.T) {
+	src := "jr far\n" + " org 0x200\nfar: nop\n"
+	if _, err := Assemble(src); err == nil {
+		t.Error("out-of-range jr accepted")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := assemble(t, `
+; full-line comment
+        nop        ; trailing comment
+
+        halt
+`)
+	if !bytes.Equal(p.Code, []byte{0x00, 0x76}) {
+		t.Errorf("code = % x", p.Code)
+	}
+}
+
+func TestSymbolsExported(t *testing.T) {
+	p := assemble(t, `
+        org 0x80
+entry:  nop
+K       equ 42
+`)
+	if p.Symbols["entry"] != 0x80 || p.Symbols["K"] != 42 {
+		t.Errorf("symbols = %v", p.Symbols)
+	}
+}
+
+// TestSampleMemtest assembles and runs the testdata walking-bit RAM
+// test: zero errors on good RAM, and it flags planted corruption...
+// which needs a fault we cannot inject mid-run here, so the good-RAM
+// pass plus pattern coverage is the assertion.
+func TestSampleMemtest(t *testing.T) {
+	src, err := os.ReadFile("testdata/memtest.asm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := assemble(t, string(src))
+	c := rabbit.New()
+	c.Mem.LoadPhysical(uint32(p.Origin), p.Code)
+	c.PC = p.Origin
+	if err := c.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Mem.Read(p.Symbols["DONE"]) != 1 {
+		t.Fatal("memtest did not finish")
+	}
+	if errs := c.Mem.Read16(p.Symbols["ERRS"]); errs != 0 {
+		t.Errorf("memtest reported %d errors on good RAM", errs)
+	}
+	// The window holds the final pattern (0x80 after 7 rotations of 0x01
+	// ... actually the 8th pattern written is 0x80).
+	if got := c.Mem.Read(0x4000); got != 0x80 {
+		t.Errorf("window byte = %#x, want last walking pattern 0x80", got)
+	}
+}

@@ -1,0 +1,46 @@
+; memtest.asm — walking-bit RAM test over a 256-byte window, the
+; classic power-on check. Writes each pattern, reads it back, counts
+; mismatches in ERRS, sets DONE=1 when finished.
+WINDOW  equ 0x4000
+ERRS    equ 0x5000
+DONE    equ 0x5002
+
+        org 0
+        ld hl, 0
+        ld (ERRS), hl
+        ld b, 8            ; eight walking-bit patterns
+        ld c, 0x01
+pattern:
+        ; fill the window with the pattern
+        ld hl, WINDOW
+        ld d, 0            ; offset counter
+fill:
+        ld a, c
+        ld (hl), a
+        inc hl
+        inc d
+        jr nz, fill
+        ; verify
+        ld hl, WINDOW
+        ld d, 0
+verify:
+        ld a, (hl)
+        cp c
+        jr z, vok
+        push hl
+        ld hl, (ERRS)
+        inc hl
+        ld (ERRS), hl
+        pop hl
+vok:
+        inc hl
+        inc d
+        jr nz, verify
+        ; next pattern: rotate the walking bit
+        ld a, c
+        rlca
+        ld c, a
+        djnz pattern
+        ld a, 1
+        ld (DONE), a
+        halt

@@ -1,0 +1,395 @@
+// Package redirector implements the network cryptographic service of
+// the case study: a secure redirector that terminates issl-encrypted
+// connections and forwards the plaintext to a backend server — the
+// job a commercial SSL accelerator box does, "Because SSL forms a
+// layer above TCP, it is easily moved from the server to other
+// hardware" (§2).
+//
+// Two implementations mirror the two platforms:
+//
+//   - UnixServer: the original program structure — listen/accept with
+//     a handler per connection (fork in the paper, a goroutine here),
+//     an unbounded number of simultaneous connections, Unix-profile
+//     issl with RSA key exchange.
+//   - EmbeddedServer: the ported structure of Fig. 3 — a fixed set of
+//     costatement-driven connection slots plus a driver costatement
+//     ticking the TCP stack, each slot doing tcp_listen on the shared
+//     port and *becoming* the connection. The slot count is the hard
+//     concurrency limit; a fourth client is refused while three are
+//     being served.
+//
+// Setting Config.Secure to false turns either server into a plaintext
+// redirector, the baseline for the paper's §2 observation (after
+// Goldberg et al.) that SSL costs around an order of magnitude of
+// server throughput (experiment E4).
+package redirector
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/costate"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+	"repro/internal/dcsock"
+	"repro/internal/issl"
+	"repro/internal/tcpip"
+)
+
+// Config parameterizes a redirector of either flavor.
+type Config struct {
+	// ListenPort is the public (secure) port.
+	ListenPort uint16
+	// Target/TargetPort locate the backend the plaintext goes to.
+	Target     tcpip.Addr
+	TargetPort uint16
+	// Secure enables the issl layer; false gives the plaintext baseline.
+	Secure bool
+	// ServerKey is the RSA key (Unix flavor with Secure).
+	ServerKey *rsa.PrivateKey
+	// PSK is the pre-shared key (Embedded flavor with Secure).
+	PSK []byte
+	// Slots caps simultaneous connections (Embedded flavor; default 3,
+	// the paper's number).
+	Slots int
+	// Log receives service events. Optional.
+	Log issl.Logger
+	// RandSeed seeds the deterministic PRNG used for session crypto.
+	RandSeed uint64
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log.Printf(format, args...)
+	}
+}
+
+// Stats counts service activity; all fields are atomically updated.
+type Stats struct {
+	Accepted      atomic.Uint64 // connections fully established
+	Refused       atomic.Uint64 // handshakes that failed
+	BytesForward  atomic.Uint64 // client -> backend plaintext bytes
+	BytesBackward atomic.Uint64 // backend -> client plaintext bytes
+}
+
+// pump copies a<->b until both directions end. When one direction
+// sees EOF it closes its destination (TCP half-close via FIN, or an
+// issl close_notify) so the opposite direction drains and ends too.
+func pump(client io.ReadWriteCloser, backend io.ReadWriteCloser, st *Stats) {
+	var wg sync.WaitGroup
+	copyDir := func(dst io.ReadWriteCloser, src io.Reader, counter *atomic.Uint64) {
+		defer wg.Done()
+		buf := make([]byte, 4096)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				counter.Add(uint64(n))
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		dst.Close()
+	}
+	wg.Add(2)
+	go copyDir(backend, client, &st.BytesForward)
+	go copyDir(client, backend, &st.BytesBackward)
+	wg.Wait()
+}
+
+// --- Unix flavor ----------------------------------------------------------------
+
+// UnixServer is the original workstation service: accept loop plus a
+// per-connection handler process (goroutine standing in for fork).
+type UnixServer struct {
+	cfg   Config
+	stack *tcpip.Stack
+	lst   *tcpip.Listener
+	stats Stats
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	once  sync.Once
+
+	mu     sync.Mutex
+	active map[*tcpip.TCB]struct{}
+}
+
+// ErrBadConfig reports an unusable redirector configuration.
+var ErrBadConfig = errors.New("redirector: bad configuration")
+
+// NewUnixServer binds the listening socket.
+func NewUnixServer(stack *tcpip.Stack, cfg Config) (*UnixServer, error) {
+	if cfg.Secure && cfg.ServerKey == nil {
+		return nil, fmt.Errorf("%w: secure Unix redirector needs ServerKey", ErrBadConfig)
+	}
+	lst, err := stack.Listen(cfg.ListenPort, 16)
+	if err != nil {
+		return nil, err
+	}
+	return &UnixServer{cfg: cfg, stack: stack, lst: lst,
+		stop: make(chan struct{}), active: map[*tcpip.TCB]struct{}{}}, nil
+}
+
+// Stats exposes the live counters.
+func (s *UnixServer) Stats() *Stats { return &s.stats }
+
+// Serve accepts and dispatches until Close. It blocks; run it on its
+// own goroutine (the original blocked its main process the same way).
+func (s *UnixServer) Serve() {
+	seq := uint64(0)
+	for {
+		conn, err := s.lst.Accept(200 * time.Millisecond)
+		if err != nil {
+			select {
+			case <-s.stop:
+				return
+			default:
+				continue // accept timeout; poll the stop channel
+			}
+		}
+		seq++
+		s.mu.Lock()
+		s.active[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func(id uint64, tcb *tcpip.TCB) { // the fork(2) analogue
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.active, tcb)
+				s.mu.Unlock()
+			}()
+			s.handle(id, tcb)
+		}(seq, conn)
+	}
+}
+
+func (s *UnixServer) handle(id uint64, tcb *tcpip.TCB) {
+	var client io.ReadWriteCloser = tcb
+	if s.cfg.Secure {
+		cfg := issl.Config{
+			Profile:   issl.ProfileUnix,
+			ServerKey: s.cfg.ServerKey,
+			Rand:      prng.NewXorshift(s.cfg.RandSeed ^ id),
+			Log:       s.cfg.Log,
+		}
+		sc, err := issl.BindServer(tcb, cfg)
+		if err != nil {
+			s.cfg.logf("redirector: conn %d: handshake failed: %v", id, err)
+			s.stats.Refused.Add(1)
+			tcb.Close()
+			return
+		}
+		client = connAndTransport{sc, tcb}
+	}
+	backend, err := s.stack.Connect(s.cfg.Target, s.cfg.TargetPort, 5*time.Second)
+	if err != nil {
+		s.cfg.logf("redirector: conn %d: backend unreachable: %v", id, err)
+		s.stats.Refused.Add(1)
+		client.Close()
+		return
+	}
+	s.stats.Accepted.Add(1)
+	pump(client, backend, &s.stats)
+}
+
+// Close stops the accept loop, aborts in-flight connections, and
+// waits for the handler goroutines to finish.
+func (s *UnixServer) Close() {
+	s.once.Do(func() {
+		close(s.stop)
+		s.lst.Close()
+		s.mu.Lock()
+		for tcb := range s.active {
+			tcb.Abort()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+// connAndTransport closes both the secure layer and the TCP beneath it.
+type connAndTransport struct {
+	*issl.Conn
+	tcb *tcpip.TCB
+}
+
+func (c connAndTransport) Close() error {
+	c.Conn.Close()
+	return c.tcb.Close()
+}
+
+// --- Embedded flavor -----------------------------------------------------------
+
+// EmbeddedServer is the ported service with the Fig. 3 structure.
+type EmbeddedServer struct {
+	cfg   Config
+	env   *dcsock.Env
+	stats Stats
+	stop  atomic.Bool
+}
+
+// NewEmbeddedServer prepares the service over a Dynamic C environment.
+func NewEmbeddedServer(env *dcsock.Env, cfg Config) (*EmbeddedServer, error) {
+	if cfg.Secure && len(cfg.PSK) == 0 {
+		return nil, fmt.Errorf("%w: secure embedded redirector needs PSK (the port dropped RSA)", ErrBadConfig)
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 3 // the paper's maximum: "at most three requests"
+	}
+	return &EmbeddedServer{cfg: cfg, env: env}, nil
+}
+
+// Stats exposes the live counters.
+func (s *EmbeddedServer) Stats() *Stats { return &s.stats }
+
+// Run executes the Fig. 3 main loop: Slots connection-handler
+// costatements plus one TCP-driver costatement, scheduled
+// cooperatively, until Close is called. It blocks.
+//
+// Fidelity note: the handshake and data pump run on helper goroutines
+// so a slot that is mid-transfer does not stall its siblings — the
+// Dynamic C original achieved the same interleaving with non-blocking
+// socket calls inside each costatement. The structural property the
+// paper cares about is preserved exactly: Slots listening sockets
+// bound by tcp_listen, so connection Slots+1 is refused while all
+// slots are busy.
+func (s *EmbeddedServer) Run() {
+	s.env.SockInit()
+	sched := costate.New()
+	for i := 0; i < s.cfg.Slots; i++ {
+		slot := i
+		sched.Spawn(fmt.Sprintf("conn-slot-%d", slot), func(co *costate.Co) {
+			s.slotBody(co, slot)
+		})
+	}
+	// The driver: "one [process] to drive the TCP stack".
+	sched.Spawn("tcp-driver", func(co *costate.Co) {
+		for !s.stop.Load() {
+			s.env.TcpTick(nil)
+			// Pace the cooperative loop so idle slots poll at ~1ms
+			// instead of spinning a host core (the 30 MHz board paced
+			// itself by simply being slow).
+			time.Sleep(time.Millisecond)
+			co.Yield()
+		}
+	})
+	sched.Run()
+}
+
+func (s *EmbeddedServer) slotBody(co *costate.Co, slot int) {
+	for !s.stop.Load() {
+		var sock dcsock.TCPSocket
+		if err := s.env.TcpListen(&sock, s.cfg.ListenPort); err != nil {
+			s.cfg.logf("redirector: slot %d: tcp_listen: %v", slot, err)
+			return
+		}
+		// waitfor(sock_established(&socket))
+		co.WaitFor(func() bool {
+			return s.stop.Load() || sock.SockEstablished()
+		})
+		if s.stop.Load() {
+			sock.SockAbort()
+			return
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			s.serveSlot(slot, &sock)
+		}()
+		co.WaitFor(func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return s.stop.Load()
+			}
+		})
+		if s.stop.Load() {
+			sock.SockAbort()
+			<-done
+			return
+		}
+	}
+}
+
+func (s *EmbeddedServer) serveSlot(slot int, sock *dcsock.TCPSocket) {
+	tr := dcTransport{sock}
+	var client io.ReadWriteCloser = tr
+	if s.cfg.Secure {
+		cfg := issl.Config{
+			Profile: issl.ProfileEmbedded,
+			PSK:     s.cfg.PSK,
+			Rand:    prng.NewXorshift(s.cfg.RandSeed ^ uint64(slot+1)),
+			Log:     s.cfg.Log,
+		}
+		sc, err := issl.BindServer(tr, cfg)
+		if err != nil {
+			s.cfg.logf("redirector: slot %d: handshake failed: %v", slot, err)
+			s.stats.Refused.Add(1)
+			tr.Close()
+			return
+		}
+		client = connAndDC{sc, sock}
+	}
+	backend, err := s.env.Stack().Connect(s.cfg.Target, s.cfg.TargetPort, 5*time.Second)
+	if err != nil {
+		s.cfg.logf("redirector: slot %d: backend unreachable: %v", slot, err)
+		s.stats.Refused.Add(1)
+		client.Close()
+		return
+	}
+	s.stats.Accepted.Add(1)
+	pump(client, backend, &s.stats)
+}
+
+// Close asks the scheduler loop to wind down.
+func (s *EmbeddedServer) Close() { s.stop.Store(true) }
+
+// dcTransport adapts a Dynamic C socket to io.ReadWriteCloser for the
+// issl layer and the pump.
+type dcTransport struct{ s *dcsock.TCPSocket }
+
+func (d dcTransport) Read(p []byte) (int, error) {
+	n, status := d.s.SockRead(p, time.Hour)
+	switch status {
+	case dcsock.StatusOK:
+		return n, nil
+	case dcsock.StatusClosed:
+		return n, io.EOF
+	default:
+		return n, fmt.Errorf("redirector: sock_read status %d", status)
+	}
+}
+
+func (d dcTransport) Write(p []byte) (int, error) {
+	n, status := d.s.SockWrite(p)
+	if status != dcsock.StatusOK {
+		return n, fmt.Errorf("redirector: sock_write status %d", status)
+	}
+	return n, nil
+}
+
+func (d dcTransport) Close() error {
+	d.s.SockClose()
+	return nil
+}
+
+// connAndDC closes both the secure layer and the DC socket under it.
+type connAndDC struct {
+	*issl.Conn
+	sock *dcsock.TCPSocket
+}
+
+func (c connAndDC) Close() error {
+	c.Conn.Close()
+	c.sock.SockClose()
+	return nil
+}

@@ -1,0 +1,365 @@
+package redirector
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+	"repro/internal/dcsock"
+	"repro/internal/issl"
+	"repro/internal/netsim"
+	"repro/internal/tcpip"
+)
+
+var (
+	keyOnce sync.Once
+	testKey *rsa.PrivateKey
+)
+
+func rsaKey(t testing.TB) *rsa.PrivateKey {
+	keyOnce.Do(func() {
+		k, err := rsa.GenerateKey(prng.NewXorshift(0xd00d), 512)
+		if err != nil {
+			t.Fatalf("keygen: %v", err)
+		}
+		testKey = k
+	})
+	return testKey
+}
+
+// world builds: client stack (.1), redirector stack (.2), backend
+// stack (.3) with an echo server on backendPort.
+func world(t *testing.T) (cli, mid, back *tcpip.Stack) {
+	t.Helper()
+	hub := netsim.NewHub()
+	t.Cleanup(hub.Close)
+	mk := func(last byte) *tcpip.Stack {
+		s, err := tcpip.NewStack(hub, tcpip.IP4(10, 0, 0, last))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		return s
+	}
+	return mk(1), mk(2), mk(3)
+}
+
+const backendPort = 9000
+
+// startEchoBackend serves echo connections until the stack closes.
+func startEchoBackend(t *testing.T, s *tcpip.Stack) {
+	t.Helper()
+	l, err := s.Listen(backendPort, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept(30 * time.Second)
+			if err != nil {
+				return
+			}
+			go func(c *tcpip.TCB) {
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.ReadDeadline(buf, time.Now().Add(30*time.Second))
+					if n > 0 {
+						c.Write(buf[:n])
+					}
+					if err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+}
+
+func TestUnixSecureRedirect(t *testing.T) {
+	cli, mid, back := world(t)
+	startEchoBackend(t, back)
+	srv, err := NewUnixServer(mid, Config{
+		ListenPort: 443, Target: back.Addr(), TargetPort: backendPort,
+		Secure: true, ServerKey: rsaKey(t), RandSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	tcb, err := cli.Connect(mid.Addr(), 443, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := issl.BindClient(tcb, issl.Config{Profile: issl.ProfileUnix, Rand: prng.NewXorshift(9)})
+	if err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	msg := []byte("through the accelerator")
+	if _, err := sc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	var got []byte
+	for len(got) < len(msg) {
+		n, err := sc.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("echo = %q", got)
+	}
+	if srv.Stats().Accepted.Load() != 1 {
+		t.Errorf("accepted = %d", srv.Stats().Accepted.Load())
+	}
+}
+
+func TestUnixPlainRedirect(t *testing.T) {
+	cli, mid, back := world(t)
+	startEchoBackend(t, back)
+	srv, err := NewUnixServer(mid, Config{
+		ListenPort: 8080, Target: back.Addr(), TargetPort: backendPort,
+		Secure: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	tcb, err := cli.Connect(mid.Addr(), 8080, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcb.Write([]byte("plaintext pass-through"))
+	buf := make([]byte, 64)
+	n, err := tcb.ReadDeadline(buf, time.Now().Add(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "plaintext pass-through" {
+		t.Errorf("got %q", buf[:n])
+	}
+}
+
+func TestUnixManyConcurrentConnections(t *testing.T) {
+	cli, mid, back := world(t)
+	startEchoBackend(t, back)
+	srv, err := NewUnixServer(mid, Config{
+		ListenPort: 443, Target: back.Addr(), TargetPort: backendPort,
+		Secure: true, ServerKey: rsaKey(t), RandSeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	const n = 8 // beyond the embedded flavor's 3-slot limit
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(id uint64) {
+			tcb, err := cli.Connect(mid.Addr(), 443, 10*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			sc, err := issl.BindClient(tcb, issl.Config{Profile: issl.ProfileUnix, Rand: prng.NewXorshift(100 + id)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			msg := []byte{byte(id), 1, 2, 3}
+			sc.Write(msg)
+			buf := make([]byte, 16)
+			got := 0
+			for got < len(msg) {
+				r, err := sc.Read(buf[got:])
+				if err != nil {
+					errs <- err
+					return
+				}
+				got += r
+			}
+			if !bytes.Equal(buf[:got], msg) {
+				errs <- io.ErrUnexpectedEOF
+				return
+			}
+			errs <- nil
+		}(uint64(i))
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+	if acc := srv.Stats().Accepted.Load(); acc != n {
+		t.Errorf("accepted = %d, want %d (fork model has no slot limit)", acc, n)
+	}
+}
+
+func TestEmbeddedSecureRedirect(t *testing.T) {
+	cli, mid, back := world(t)
+	startEchoBackend(t, back)
+	psk := []byte("shared-secret-on-the-board")
+	srv, err := NewEmbeddedServer(dcsock.NewEnv(mid), Config{
+		ListenPort: 443, Target: back.Addr(), TargetPort: backendPort,
+		Secure: true, PSK: psk, RandSeed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Run()
+	defer srv.Close()
+	time.Sleep(50 * time.Millisecond) // let slots reach tcp_listen
+
+	tcb, err := cli.Connect(mid.Addr(), 443, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := issl.BindClient(tcb, issl.Config{Profile: issl.ProfileEmbedded, PSK: psk, Rand: prng.NewXorshift(77)})
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	msg := []byte("embedded path")
+	sc.Write(msg)
+	buf := make([]byte, 64)
+	var got []byte
+	for len(got) < len(msg) {
+		n, err := sc.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+// TestE5ConnectionLimit is experiment E5: with the Fig. 3 structure and
+// 3 slots, three clients are served simultaneously and a fourth is
+// refused until a slot frees up.
+func TestE5ConnectionLimit(t *testing.T) {
+	cli, mid, back := world(t)
+	startEchoBackend(t, back)
+	psk := []byte("slots")
+	srv, err := NewEmbeddedServer(dcsock.NewEnv(mid), Config{
+		ListenPort: 443, Target: back.Addr(), TargetPort: backendPort,
+		Secure: true, PSK: psk, Slots: 3, RandSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Run()
+	defer srv.Close()
+	time.Sleep(50 * time.Millisecond)
+
+	// Occupy all three slots with live secure sessions.
+	var conns []*issl.Conn
+	var tcbs []*tcpip.TCB
+	for i := 0; i < 3; i++ {
+		tcb, err := cli.Connect(mid.Addr(), 443, 5*time.Second)
+		if err != nil {
+			t.Fatalf("connection %d: %v", i, err)
+		}
+		sc, err := issl.BindClient(tcb, issl.Config{Profile: issl.ProfileEmbedded, PSK: psk, Rand: prng.NewXorshift(uint64(200 + i))})
+		if err != nil {
+			t.Fatalf("handshake %d: %v", i, err)
+		}
+		// Prove the slot is actually serving.
+		sc.Write([]byte("x"))
+		buf := make([]byte, 8)
+		if _, err := sc.Read(buf); err != nil {
+			t.Fatalf("slot %d echo: %v", i, err)
+		}
+		conns = append(conns, sc)
+		tcbs = append(tcbs, tcb)
+	}
+
+	// Fourth connection: no listening socket remains; the stack
+	// refuses the SYN.
+	if _, err := cli.Connect(mid.Addr(), 443, 2*time.Second); err == nil {
+		t.Fatal("fourth simultaneous connection succeeded; Fig. 3 limit not enforced")
+	}
+
+	// Release one slot; the slot re-listens; a new client succeeds.
+	conns[0].Close()
+	tcbs[0].Close()
+	var late *tcpip.TCB
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		late, err = cli.Connect(mid.Addr(), 443, 2*time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: %v", err)
+		}
+	}
+	sc, err := issl.BindClient(late, issl.Config{Profile: issl.ProfileEmbedded, PSK: psk, Rand: prng.NewXorshift(999)})
+	if err != nil {
+		t.Fatalf("late handshake: %v", err)
+	}
+	sc.Write([]byte("finally"))
+	buf := make([]byte, 16)
+	if _, err := sc.Read(buf); err != nil {
+		t.Fatalf("late echo: %v", err)
+	}
+}
+
+func TestEmbeddedConfigValidation(t *testing.T) {
+	_, mid, _ := world(t)
+	if _, err := NewEmbeddedServer(dcsock.NewEnv(mid), Config{Secure: true}); err == nil {
+		t.Error("secure embedded server without PSK accepted")
+	}
+	srv, err := NewEmbeddedServer(dcsock.NewEnv(mid), Config{Secure: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.cfg.Slots != 3 {
+		t.Errorf("default slots = %d, want 3", srv.cfg.Slots)
+	}
+}
+
+func TestUnixConfigValidation(t *testing.T) {
+	_, mid, _ := world(t)
+	if _, err := NewUnixServer(mid, Config{ListenPort: 1, Secure: true}); err == nil {
+		t.Error("secure unix server without key accepted")
+	}
+}
+
+func TestBackendUnreachableCountsRefused(t *testing.T) {
+	cli, mid, _ := world(t)
+	// No backend started.
+	srv, err := NewUnixServer(mid, Config{
+		ListenPort: 8080, Target: tcpip.IP4(10, 0, 0, 3), TargetPort: backendPort,
+		Secure: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	tcb, err := cli.Connect(mid.Addr(), 8080, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	tcb.ReadDeadline(buf, time.Now().Add(3*time.Second)) // will EOF/reset when backend dial fails
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Refused.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if srv.Stats().Refused.Load() != 1 {
+		t.Errorf("refused = %d, want 1", srv.Stats().Refused.Load())
+	}
+}

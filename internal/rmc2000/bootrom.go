@@ -1,0 +1,238 @@
+package rmc2000
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rasm"
+)
+
+// Programming-port boot ROM. The real kit "includes a 10-pin
+// programming port to interface with the development environment"
+// (§4); here the same role is played by a small boot loader written in
+// Rabbit assembly, resident high in root memory, that speaks a framed
+// download protocol over serial port D:
+//
+//	'L' addrLo addrHi lenLo lenHi payload... checksum   -> ACK/NAK
+//	'G' addrLo addrHi                                   -> ACK, then jump
+//
+// checksum is the 8-bit sum of the payload bytes. The host never
+// touches memory directly — every byte of the downloaded image flows
+// through the simulated CPU executing the loader, exactly like a real
+// programming cable session.
+
+// Protocol bytes.
+const (
+	bootCmdLoad = 'L'
+	bootCmdGo   = 'G'
+	BootACK     = 0x06
+	BootNAK     = 0x15
+)
+
+// BootROMOrigin is where the loader lives (clear of user images at 0,
+// below the stack segment).
+const BootROMOrigin = 0xC000
+
+// progPort is the serial port index used as the programming port (D).
+const progPort = 3
+
+const bootROMSource = `
+SDDR equ 0xF0          ; serial port D data
+SDSR equ 0xF3          ; serial port D status
+
+        org 0xC000
+boot:
+        call brecv
+        cp 'L'
+        jp z, bload
+        cp 'G'
+        jp z, bgo
+        ld a, 0x15      ; NAK unknown commands
+        ioi ld (SDDR), a
+        jp boot
+
+bload:
+        call brecv
+        ld l, a
+        call brecv
+        ld h, a         ; HL = destination address
+        call brecv
+        ld c, a
+        call brecv
+        ld b, a         ; BC = length
+        ld d, 0         ; running checksum
+bload_lp:
+        ld a, b
+        or c
+        jp z, bload_ck
+        call brecv
+        ld (hl), a
+        ld e, a
+        ld a, d
+        add a, e
+        ld d, a
+        inc hl
+        dec bc
+        jp bload_lp
+bload_ck:
+        call brecv      ; expected checksum
+        cp d
+        jp nz, bnak
+        ld a, 0x06      ; ACK
+        ioi ld (SDDR), a
+        jp boot
+bnak:
+        ld a, 0x15
+        ioi ld (SDDR), a
+        jp boot
+
+bgo:
+        call brecv
+        ld l, a
+        call brecv
+        ld h, a
+        ld a, 0x06
+        ioi ld (SDDR), a
+        jp (hl)
+
+; brecv: poll until a byte arrives on the programming port, return in A.
+brecv:
+        ioi ld a, (SDSR)
+        and 0x80
+        jp z, brecv
+        ioi ld a, (SDDR)
+        ret
+`
+
+// Boot errors.
+var (
+	ErrBootNAK     = errors.New("rmc2000: boot loader NAKed the frame")
+	ErrBootTimeout = errors.New("rmc2000: boot loader did not answer")
+)
+
+// InstallBootROM assembles the loader, places it at BootROMOrigin, and
+// points the CPU at it.
+func (b *Board) InstallBootROM() error {
+	prog, err := rasm.Assemble(bootROMSource)
+	if err != nil {
+		return fmt.Errorf("rmc2000: boot ROM: %w", err)
+	}
+	b.CPU.Mem.LoadPhysical(uint32(prog.Origin), prog.Code)
+	b.CPU.PC = prog.Origin
+	b.CPU.SP = 0xDFF0
+	return nil
+}
+
+// waitBootReply runs the CPU until the loader transmits one byte on
+// the programming port.
+func (b *Board) waitBootReply(budget uint64) (byte, error) {
+	start := b.CPU.Cycles
+	for b.CPU.Cycles-start < budget {
+		for i := 0; i < 256; i++ {
+			if err := b.Step(); err != nil {
+				return 0, err
+			}
+		}
+		if out := b.Serial[progPort].HostRecv(); len(out) > 0 {
+			return out[len(out)-1], nil
+		}
+	}
+	return 0, ErrBootTimeout
+}
+
+// Download sends one image chunk through the boot loader. The image
+// must fit a 16-bit length.
+func (b *Board) Download(addr uint16, image []byte) error {
+	if len(image) > 0xffff {
+		return fmt.Errorf("rmc2000: image of %d bytes exceeds one frame", len(image))
+	}
+	frame := []byte{bootCmdLoad, byte(addr), byte(addr >> 8),
+		byte(len(image)), byte(len(image) >> 8)}
+	frame = append(frame, image...)
+	var sum byte
+	for _, v := range image {
+		sum += v
+	}
+	frame = append(frame, sum)
+	b.Serial[progPort].HostSend(frame...)
+	reply, err := b.waitBootReply(uint64(len(frame))*2000 + 1_000_000)
+	if err != nil {
+		return err
+	}
+	if reply != BootACK {
+		return ErrBootNAK
+	}
+	return nil
+}
+
+// BootGo commands the loader to jump to the downloaded program.
+func (b *Board) BootGo(entry uint16) error {
+	b.Serial[progPort].HostSend(bootCmdGo, byte(entry), byte(entry>>8))
+	reply, err := b.waitBootReply(1_000_000)
+	if err != nil {
+		return err
+	}
+	if reply != BootACK {
+		return ErrBootNAK
+	}
+	return nil
+}
+
+// ErrBootOverlap reports an image span that would overwrite the
+// resident boot loader mid-download.
+var ErrBootOverlap = errors.New("rmc2000: image span overlaps the boot ROM")
+
+// bootROMEnd bounds the loader's resident footprint.
+const bootROMEnd = BootROMOrigin + 0x200
+
+// Program is the whole development-kit flow: install the ROM, download
+// the image, and start it. The download is sparse — zero runs in the
+// image (e.g. the gap between root data and the xmem window) are
+// skipped, like a real loader transferring sections rather than a flat
+// file — which also keeps large images from sweeping over the resident
+// loader. A non-zero span that would land on the loader is an error.
+func (b *Board) Program(entry uint16, image []byte) error {
+	if err := b.InstallBootROM(); err != nil {
+		return err
+	}
+	const maxChunk = 0x4000
+	i := 0
+	for i < len(image) {
+		// Skip zero runs of 64+ bytes; short runs ride along.
+		if image[i] == 0 {
+			j := i
+			for j < len(image) && image[j] == 0 {
+				j++
+			}
+			if j-i >= 64 || j == len(image) {
+				i = j
+				continue
+			}
+		}
+		// Collect a span up to the next long zero run.
+		j := i
+		zeros := 0
+		for j < len(image) && j-i < maxChunk {
+			if image[j] == 0 {
+				zeros++
+				if zeros >= 64 {
+					j -= zeros - 1
+					break
+				}
+			} else {
+				zeros = 0
+			}
+			j++
+		}
+		addr := uint16(i)
+		span := image[i:j]
+		if int(addr) < bootROMEnd && int(addr)+len(span) > BootROMOrigin {
+			return fmt.Errorf("%w: span %04x..%04x", ErrBootOverlap, addr, int(addr)+len(span))
+		}
+		if err := b.Download(addr, span); err != nil {
+			return fmt.Errorf("span at %04x: %w", addr, err)
+		}
+		i = j
+	}
+	return b.BootGo(entry)
+}

@@ -1,0 +1,213 @@
+package rmc2000
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dcc"
+	"repro/internal/rasm"
+)
+
+func TestBootROMDownloadsAndRuns(t *testing.T) {
+	b := newBoard(t)
+	// A user program that writes a signature and halts.
+	prog, err := rasm.Assemble(`
+        org 0
+        ld a, 0xA5
+        ld (0x4000), a
+        ld a, 0x5A
+        ld (0x4001), a
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Program(0, prog.Code); err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	if err := b.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if !b.CPU.Halted {
+		t.Fatal("user program did not run to HALT")
+	}
+	if b.CPU.Mem.Read(0x4000) != 0xA5 || b.CPU.Mem.Read(0x4001) != 0x5A {
+		t.Errorf("signature = %02x %02x", b.CPU.Mem.Read(0x4000), b.CPU.Mem.Read(0x4001))
+	}
+}
+
+func TestBootROMChecksumRejectsCorruption(t *testing.T) {
+	b := newBoard(t)
+	if err := b.InstallBootROM(); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build a frame with a wrong checksum.
+	image := []byte{0x76} // HALT
+	frame := []byte{bootCmdLoad, 0x00, 0x00, 0x01, 0x00, image[0], image[0] + 1}
+	b.Serial[progPort].HostSend(frame...)
+	reply, err := b.waitBootReply(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != BootNAK {
+		t.Errorf("reply = %#x, want NAK", reply)
+	}
+	// The loader survives and accepts a good frame afterward.
+	if err := b.Download(0, image); err != nil {
+		t.Fatalf("good frame after NAK: %v", err)
+	}
+}
+
+func TestBootROMUnknownCommandNAKs(t *testing.T) {
+	b := newBoard(t)
+	if err := b.InstallBootROM(); err != nil {
+		t.Fatal(err)
+	}
+	b.Serial[progPort].HostSend('Z')
+	reply, err := b.waitBootReply(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != BootNAK {
+		t.Errorf("reply = %#x, want NAK", reply)
+	}
+}
+
+func TestBootROMMultipleChunks(t *testing.T) {
+	b := newBoard(t)
+	if err := b.InstallBootROM(); err != nil {
+		t.Fatal(err)
+	}
+	// Two chunks: code at 0, data at 0x4100; the code copies the data
+	// byte and halts.
+	code, err := rasm.Assemble(`
+        org 0
+        ld a, (0x4100)
+        ld (0x4200), a
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Download(0, code.Code); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Download(0x4100, []byte{0x77}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BootGo(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if b.CPU.Mem.Read(0x4200) != 0x77 {
+		t.Errorf("copied byte = %02x", b.CPU.Mem.Read(0x4200))
+	}
+}
+
+func TestBootROMTimeoutWhenNotInstalled(t *testing.T) {
+	b := newBoard(t)
+	// Load HALT so the CPU does nothing; no boot ROM to answer.
+	b.LoadProgram(0, []byte{0x76})
+	if err := b.Download(0, []byte{0x00}); !errors.Is(err, ErrBootTimeout) {
+		t.Errorf("err = %v, want timeout", err)
+	}
+}
+
+// TestBootROMLoadsCompiledProgram pushes a dcc-compiled image through
+// the programming port — the full development-kit workflow.
+func TestBootROMLoadsCompiledProgram(t *testing.T) {
+	b := newBoard(t)
+	// The compiled image expects to run at 0 with its own stack setup.
+	progSrc := `
+int out;
+void main() {
+    int i;
+    out = 0;
+    for (i = 1; i <= 10; i++) out += i;
+}`
+	// Compile via the dcc package through its public API — but
+	// importing dcc here creates an import cycle risk (dcc -> rabbit,
+	// rmc2000 -> rabbit; no cycle actually). Use it.
+	comp := mustCompile(t, progSrc)
+	if err := b.Program(0, comp.code); err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	if err := b.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !b.CPU.Halted {
+		t.Fatal("compiled program did not halt")
+	}
+	got := b.CPU.Mem.Read16(comp.outAddr)
+	if got != 55 {
+		t.Errorf("out = %d, want 55", got)
+	}
+}
+
+// mustCompile compiles Dynamic C source and returns the image plus the
+// address of the `out` global.
+type compiled struct {
+	code    []byte
+	outAddr uint16
+}
+
+func mustCompile(t *testing.T, src string) compiled {
+	t.Helper()
+	comp, err := dcc.Compile(src, dcc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := comp.Symbol("out")
+	if !ok {
+		t.Fatal("no `out` global")
+	}
+	return compiled{code: comp.Program.Code, outAddr: addr}
+}
+
+// TestBootROMSparseXmemImage programs an image whose data section sits
+// in the xmem window at 0xE000 — the gap in the middle must be skipped
+// so the download does not sweep over the resident loader.
+func TestBootROMSparseXmemImage(t *testing.T) {
+	b := newBoard(t)
+	src := `
+int out;
+char buf[32];
+void main() {
+    int i;
+    for (i = 0; i < 32; i++) buf[i] = i;
+    out = buf[31];
+}`
+	comp, err := dcc.Compile(src, dcc.Options{}) // xmem placement: big sparse image
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Program.Size() < 0xE000 {
+		t.Fatalf("expected a sparse image spanning the xmem window, got %d bytes", comp.Program.Size())
+	}
+	if err := b.Program(0, comp.Program.Code); err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	if err := b.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := comp.Symbol("out")
+	if got := b.CPU.Mem.Read16(addr); got != 31 {
+		t.Errorf("out = %d, want 31", got)
+	}
+}
+
+// TestBootROMRefusesOverlap: a span landing on the loader is an error,
+// not a crash.
+func TestBootROMRefusesOverlap(t *testing.T) {
+	b := newBoard(t)
+	img := make([]byte, BootROMOrigin+16)
+	for i := range img {
+		img[i] = 0xAA // no zero runs: forces one giant span set
+	}
+	err := b.Program(0, img)
+	if !errors.Is(err, ErrBootOverlap) {
+		t.Errorf("err = %v, want overlap", err)
+	}
+}

@@ -1,0 +1,59 @@
+// Package tcpip is a from-scratch TCP/IP stack running over the
+// netsim wire. It provides what the RMC2000 development kit's software
+// provided — "software implementing TCP/IP, UDP and ICMP" (§4) — and
+// what the Unix workstation on the other end of the case study's
+// connection had natively. Both the BSD-style socket API
+// (internal/bsdsock) and the Dynamic-C-style API (internal/dcsock) sit
+// on top of this one stack, which is the point of Fig. 2: the same
+// transport, two very different programming interfaces.
+package tcpip
+
+import "fmt"
+
+// Addr is an IPv4 address.
+type Addr [4]byte
+
+// String renders dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IP4 builds an address from four octets.
+func IP4(a, b, c, d byte) Addr { return Addr{a, b, c, d} }
+
+// checksum computes the RFC 1071 ones'-complement sum over data.
+func checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoChecksum computes the TCP/UDP checksum including the IPv4
+// pseudo-header.
+func pseudoChecksum(proto byte, src, dst Addr, seg []byte) uint16 {
+	ph := make([]byte, 12+len(seg))
+	copy(ph[0:4], src[:])
+	copy(ph[4:8], dst[:])
+	ph[9] = proto
+	ph[10] = byte(len(seg) >> 8)
+	ph[11] = byte(len(seg))
+	copy(ph[12:], seg)
+	return checksum(ph)
+}
+
+func be16(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+func put16(b []byte, v uint16) { b[0], b[1] = byte(v>>8), byte(v) }
+func put32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}

@@ -1,0 +1,74 @@
+package tcpip
+
+import (
+	"errors"
+	"fmt"
+)
+
+// IP protocol numbers carried in the header.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// MTU is the Ethernet payload limit; packets are never fragmented
+// because the TCP MSS and UDP senders stay under it.
+const MTU = 1500
+
+const ipHeaderLen = 20
+
+// ipPacket is a parsed IPv4 packet.
+type ipPacket struct {
+	src, dst Addr
+	proto    byte
+	ttl      byte
+	payload  []byte
+}
+
+var errBadIPHeader = errors.New("tcpip: bad IP header")
+
+// marshalIP builds an IPv4 header + payload.
+func marshalIP(p ipPacket) []byte {
+	buf := make([]byte, ipHeaderLen+len(p.payload))
+	buf[0] = 0x45 // version 4, IHL 5
+	total := len(buf)
+	put16(buf[2:], uint16(total))
+	buf[8] = p.ttl
+	buf[9] = p.proto
+	copy(buf[12:16], p.src[:])
+	copy(buf[16:20], p.dst[:])
+	put16(buf[10:], 0)
+	cs := checksum(buf[:ipHeaderLen])
+	put16(buf[10:], cs)
+	copy(buf[ipHeaderLen:], p.payload)
+	return buf
+}
+
+// parseIP validates and splits an IPv4 packet.
+func parseIP(b []byte) (ipPacket, error) {
+	if len(b) < ipHeaderLen {
+		return ipPacket{}, fmt.Errorf("%w: %d bytes", errBadIPHeader, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return ipPacket{}, fmt.Errorf("%w: version %d", errBadIPHeader, b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < ipHeaderLen || len(b) < ihl {
+		return ipPacket{}, fmt.Errorf("%w: IHL %d", errBadIPHeader, ihl)
+	}
+	if checksum(b[:ihl]) != 0 {
+		return ipPacket{}, fmt.Errorf("%w: checksum", errBadIPHeader)
+	}
+	total := int(be16(b[2:]))
+	if total < ihl || total > len(b) {
+		return ipPacket{}, fmt.Errorf("%w: total length %d", errBadIPHeader, total)
+	}
+	var p ipPacket
+	copy(p.src[:], b[12:16])
+	copy(p.dst[:], b[16:20])
+	p.proto = b[9]
+	p.ttl = b[8]
+	p.payload = b[ihl:total]
+	return p, nil
+}

@@ -1,0 +1,978 @@
+package tcpip
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TCP implementation notes. This is a deliberately compact but real
+// TCP: three-way handshake, cumulative ACKs, MSS segmentation, peer
+// window respect, exponential-backoff retransmission, graceful FIN
+// teardown in both directions, RST on refusal and abort, TIME_WAIT,
+// and bounded out-of-order reassembly (segments ahead of the expected
+// sequence wait for the gap to fill instead of forcing retransmission).
+//
+// Two listen models coexist, because the paper's two platforms differ
+// exactly here (§5.3):
+//
+//   - Listener (BSD style): a factory socket; each SYN conjures a new
+//     connection delivered through Accept.
+//   - ListenOne (Dynamic C style): "the socket bound to the port also
+//     handles the request, so each connection is required to have a
+//     corresponding call to tcp_listen". A one-shot TCB that becomes
+//     the connection itself.
+
+type tcpState int
+
+// TCP connection states (RFC 793 names).
+const (
+	stateClosed tcpState = iota
+	stateListen
+	stateSynSent
+	stateSynRcvd
+	stateEstablished
+	stateFinWait1
+	stateFinWait2
+	stateCloseWait
+	stateClosing
+	stateLastAck
+	stateTimeWait
+)
+
+var stateNames = map[tcpState]string{
+	stateClosed: "CLOSED", stateListen: "LISTEN", stateSynSent: "SYN_SENT",
+	stateSynRcvd: "SYN_RCVD", stateEstablished: "ESTABLISHED",
+	stateFinWait1: "FIN_WAIT_1", stateFinWait2: "FIN_WAIT_2",
+	stateCloseWait: "CLOSE_WAIT", stateClosing: "CLOSING",
+	stateLastAck: "LAST_ACK", stateTimeWait: "TIME_WAIT",
+}
+
+func (s tcpState) String() string { return stateNames[s] }
+
+// TCP header flags.
+const (
+	flagFIN = 1 << iota
+	flagSYN
+	flagRST
+	flagPSH
+	flagACK
+)
+
+// Tuning constants.
+const (
+	tcpMSS         = 1200
+	maxInFlight    = 16 * 1024
+	sndBufLimit    = 64 * 1024
+	initialRTO     = 200 * time.Millisecond
+	maxRTO         = 3 * time.Second
+	maxRetries     = 8
+	maxOOOSegments = 64
+	timeWaitDelay  = 200 * time.Millisecond
+	tcpHeaderLen   = 20
+	advertisedWnd  = 0xffff
+)
+
+// Errors surfaced by TCP operations.
+var (
+	ErrConnRefused = errors.New("tcpip: connection refused")
+	ErrConnReset   = errors.New("tcpip: connection reset by peer")
+	ErrTimeout     = errors.New("tcpip: operation timed out")
+	ErrConnClosed  = errors.New("tcpip: connection closed")
+)
+
+type tcpKey struct {
+	remoteIP   Addr
+	remotePort uint16
+	localPort  uint16
+}
+
+type tcpSegment struct {
+	srcPort, dstPort uint16
+	seq, ack         uint32
+	flags            uint8
+	window           uint16
+	payload          []byte
+}
+
+func marshalTCP(src, dst Addr, seg tcpSegment) []byte {
+	b := make([]byte, tcpHeaderLen+len(seg.payload))
+	put16(b[0:], seg.srcPort)
+	put16(b[2:], seg.dstPort)
+	put32(b[4:], seg.seq)
+	put32(b[8:], seg.ack)
+	b[12] = 5 << 4 // data offset: 5 words
+	b[13] = seg.flags
+	put16(b[14:], seg.window)
+	copy(b[tcpHeaderLen:], seg.payload)
+	put16(b[16:], pseudoChecksum(ProtoTCP, src, dst, b))
+	return b
+}
+
+func parseTCP(b []byte) (tcpSegment, bool) {
+	if len(b) < tcpHeaderLen {
+		return tcpSegment{}, false
+	}
+	off := int(b[12]>>4) * 4
+	if off < tcpHeaderLen || off > len(b) {
+		return tcpSegment{}, false
+	}
+	return tcpSegment{
+		srcPort: be16(b[0:]), dstPort: be16(b[2:]),
+		seq: be32(b[4:]), ack: be32(b[8:]),
+		flags: b[13] & 0x1f, window: be16(b[14:]),
+		payload: b[off:],
+	}, true
+}
+
+// Sequence-space comparisons (mod 2^32).
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// TCB is a TCP connection (or a Dynamic-C-style listening socket that
+// will become one). It implements io.ReadWriteCloser once established.
+type TCB struct {
+	stack *Stack
+	mu    sync.Mutex
+	cond  *sync.Cond
+
+	state      tcpState
+	localPort  uint16
+	remotePort uint16
+	remoteIP   Addr
+
+	iss, irs uint32
+	sndUna   uint32 // oldest unacknowledged
+	sndNxt   uint32 // next to send
+	rcvNxt   uint32 // next expected
+	peerWnd  uint16
+
+	sndBuf    []byte // unacked+unsent data; index 0 is seq sndUna
+	sndClosed bool   // Close called; FIN queued behind data
+	finSent   bool
+	finSeq    uint32
+
+	rcvBuf    []byte
+	rcvClosed bool // peer FIN consumed
+	// ooo holds out-of-order segments (seq -> payload) awaiting the
+	// gap to fill; bounded to keep a hostile peer from ballooning it.
+	ooo map[uint32][]byte
+
+	err error
+
+	rtoArmed    bool
+	rtoDeadline time.Time
+	rto         time.Duration
+	retries     int
+	timeWaitAt  time.Time
+
+	// onEstablished fires when SYN_RCVD completes (listener delivery).
+	onEstablished func(*TCB)
+}
+
+func newTCB(s *Stack) *TCB {
+	t := &TCB{stack: s, rto: initialRTO, peerWnd: advertisedWnd}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// State returns the connection state name (for diagnostics and tests).
+func (t *TCB) State() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state.String()
+}
+
+// LocalPort returns the local port number.
+func (t *TCB) LocalPort() uint16 { return t.localPort }
+
+// RemoteAddr returns the peer address and port (zero until bound).
+func (t *TCB) RemoteAddr() (Addr, uint16) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.remoteIP, t.remotePort
+}
+
+// waitCond blocks until pred() holds, the connection errors, or the
+// deadline passes. Called with t.mu held; returns with t.mu held.
+func (t *TCB) waitCond(deadline time.Time, pred func() bool) error {
+	for !pred() {
+		if t.err != nil {
+			return t.err
+		}
+		now := time.Now()
+		if !deadline.IsZero() && now.After(deadline) {
+			return ErrTimeout
+		}
+		var timer *time.Timer
+		if !deadline.IsZero() {
+			timer = time.AfterFunc(deadline.Sub(now), t.cond.Broadcast)
+		}
+		t.cond.Wait()
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+	return nil
+}
+
+// send transmits one segment for this connection. Called with t.mu held.
+func (t *TCB) send(seg tcpSegment) {
+	seg.srcPort = t.localPort
+	seg.dstPort = t.remotePort
+	seg.window = advertisedWnd
+	raw := marshalTCP(t.stack.ip, t.remoteIP, seg)
+	t.stack.mu.Lock()
+	t.stack.sendIP(t.remoteIP, ProtoTCP, raw)
+	t.stack.mu.Unlock()
+}
+
+func (t *TCB) armRTO() {
+	t.rtoArmed = true
+	t.rtoDeadline = time.Now().Add(t.rto)
+}
+
+// transmit pushes out as much pending data as window allows, then the
+// FIN if Close has drained the buffer. Called with t.mu held.
+func (t *TCB) transmit() {
+	switch t.state {
+	case stateEstablished, stateCloseWait, stateFinWait1, stateClosing, stateLastAck:
+	default:
+		return
+	}
+	wnd := int(t.peerWnd)
+	if wnd > maxInFlight {
+		wnd = maxInFlight
+	}
+	sent := int(t.sndNxt - t.sndUna)
+	if t.finSent {
+		sent-- // FIN occupies one phantom byte past the buffer
+	}
+	for sent < len(t.sndBuf) && sent < wnd {
+		n := len(t.sndBuf) - sent
+		if n > tcpMSS {
+			n = tcpMSS
+		}
+		if n > wnd-sent {
+			n = wnd - sent
+		}
+		t.send(tcpSegment{
+			seq: t.sndUna + uint32(sent), ack: t.rcvNxt,
+			flags:   flagACK | flagPSH,
+			payload: t.sndBuf[sent : sent+n],
+		})
+		sent += n
+		t.sndNxt = t.sndUna + uint32(sent)
+		t.armRTO()
+	}
+	if t.sndClosed && !t.finSent && sent == len(t.sndBuf) {
+		t.finSeq = t.sndUna + uint32(len(t.sndBuf))
+		t.send(tcpSegment{seq: t.finSeq, ack: t.rcvNxt, flags: flagFIN | flagACK})
+		t.finSent = true
+		t.sndNxt = t.finSeq + 1
+		switch t.state {
+		case stateEstablished:
+			t.state = stateFinWait1
+		case stateCloseWait:
+			t.state = stateLastAck
+		}
+		t.armRTO()
+	}
+}
+
+// tick is called periodically by the stack's timer loop.
+func (t *TCB) tick(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state == stateTimeWait && now.After(t.timeWaitAt) {
+		t.removeLocked()
+		t.state = stateClosed
+		t.cond.Broadcast()
+		return
+	}
+	if !t.rtoArmed || now.Before(t.rtoDeadline) {
+		return
+	}
+	outstanding := t.sndNxt != t.sndUna
+	if !outstanding {
+		t.rtoArmed = false
+		return
+	}
+	t.retries++
+	if t.retries > maxRetries {
+		t.abortLocked(ErrTimeout, true)
+		return
+	}
+	t.rto *= 2
+	if t.rto > maxRTO {
+		t.rto = maxRTO
+	}
+	// Retransmit from sndUna: SYN, data, or FIN depending on phase.
+	switch t.state {
+	case stateSynSent:
+		t.send(tcpSegment{seq: t.iss, flags: flagSYN})
+	case stateSynRcvd:
+		t.send(tcpSegment{seq: t.iss, ack: t.rcvNxt, flags: flagSYN | flagACK})
+	default:
+		if len(t.sndBuf) > 0 {
+			n := len(t.sndBuf)
+			if n > tcpMSS {
+				n = tcpMSS
+			}
+			t.send(tcpSegment{
+				seq: t.sndUna, ack: t.rcvNxt,
+				flags: flagACK | flagPSH, payload: t.sndBuf[:n],
+			})
+		} else if t.finSent {
+			t.send(tcpSegment{seq: t.finSeq, ack: t.rcvNxt, flags: flagFIN | flagACK})
+		}
+	}
+	t.armRTO()
+}
+
+// removeLocked unregisters the TCB from the stack. t.mu held.
+// Lock order is always t.mu → s.mu; nothing may take t.mu under s.mu.
+func (t *TCB) removeLocked() {
+	key := tcpKey{t.remoteIP, t.remotePort, t.localPort}
+	t.stack.mu.Lock()
+	if t.stack.tcbs[key] == t {
+		delete(t.stack.tcbs, key)
+	}
+	// A LISTEN-state Dynamic-C socket lives in dcListen instead.
+	if ls := t.stack.dcListen[t.localPort]; len(ls) > 0 {
+		kept := ls[:0]
+		for _, other := range ls {
+			if other != t {
+				kept = append(kept, other)
+			}
+		}
+		if len(kept) == 0 {
+			delete(t.stack.dcListen, t.localPort)
+		} else {
+			t.stack.dcListen[t.localPort] = kept
+		}
+	}
+	t.stack.mu.Unlock()
+}
+
+// Abort resets the connection immediately (RST), discarding queued data.
+func (t *TCB) Abort() { t.abort(ErrConnClosed) }
+
+// abort tears the connection down with an error, sending RST if asked.
+func (t *TCB) abort(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.abortLocked(err, true)
+}
+
+func (t *TCB) abortLocked(err error, sendRST bool) {
+	if t.state == stateClosed {
+		return
+	}
+	if sendRST && t.state != stateListen && t.remotePort != 0 {
+		t.send(tcpSegment{seq: t.sndNxt, ack: t.rcvNxt, flags: flagRST | flagACK})
+	}
+	t.err = err
+	t.state = stateClosed
+	t.rtoArmed = false
+	t.removeLocked()
+	t.cond.Broadcast()
+}
+
+// handleSegment runs the state machine for one incoming segment.
+func (t *TCB) handleSegment(seg tcpSegment) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if seg.flags&flagRST != 0 {
+		switch t.state {
+		case stateSynSent:
+			if seg.flags&flagACK != 0 && seg.ack == t.iss+1 {
+				t.abortLocked(ErrConnRefused, false)
+			}
+		case stateClosed, stateListen:
+		default:
+			if seqLEQ(t.rcvNxt, seg.seq) {
+				t.abortLocked(ErrConnReset, false)
+			}
+		}
+		return
+	}
+
+	switch t.state {
+	case stateSynSent:
+		if seg.flags&(flagSYN|flagACK) == flagSYN|flagACK && seg.ack == t.iss+1 {
+			t.irs = seg.seq
+			t.rcvNxt = seg.seq + 1
+			t.sndUna = seg.ack
+			t.sndNxt = seg.ack
+			t.peerWnd = seg.window
+			t.state = stateEstablished
+			t.rtoArmed = false
+			t.retries = 0
+			t.rto = initialRTO
+			t.send(tcpSegment{seq: t.sndNxt, ack: t.rcvNxt, flags: flagACK})
+			t.cond.Broadcast()
+		}
+		return
+
+	case stateSynRcvd:
+		if seg.flags&flagSYN != 0 {
+			// Duplicate SYN: our SYN-ACK was lost; resend.
+			t.send(tcpSegment{seq: t.iss, ack: t.rcvNxt, flags: flagSYN | flagACK})
+			return
+		}
+		if seg.flags&flagACK != 0 && seg.ack == t.iss+1 {
+			t.sndUna = seg.ack
+			t.sndNxt = seg.ack
+			t.peerWnd = seg.window
+			t.state = stateEstablished
+			t.rtoArmed = false
+			t.retries = 0
+			t.rto = initialRTO
+			if cb := t.onEstablished; cb != nil {
+				t.onEstablished = nil
+				t.mu.Unlock()
+				cb(t)
+				t.mu.Lock()
+			}
+			t.cond.Broadcast()
+			// Fall through: segment may carry data too.
+		} else {
+			return
+		}
+
+	case stateClosed, stateListen:
+		return
+	}
+
+	// Data-phase states from here on.
+	t.peerWnd = seg.window
+
+	if seg.flags&flagACK != 0 && seqLT(t.sndUna, seg.ack) && seqLEQ(seg.ack, t.sndNxt) {
+		advance := seg.ack - t.sndUna
+		dataAcked := int(advance)
+		if dataAcked > len(t.sndBuf) {
+			dataAcked = len(t.sndBuf) // FIN phantom byte
+		}
+		t.sndBuf = t.sndBuf[dataAcked:]
+		t.sndUna = seg.ack
+		t.retries = 0
+		t.rto = initialRTO
+		if t.sndUna == t.sndNxt {
+			t.rtoArmed = false
+		} else {
+			t.armRTO()
+		}
+		if t.finSent && seg.ack == t.finSeq+1 {
+			switch t.state {
+			case stateFinWait1:
+				t.state = stateFinWait2
+			case stateClosing:
+				t.enterTimeWait()
+			case stateLastAck:
+				t.state = stateClosed
+				t.removeLocked()
+			}
+		}
+		t.cond.Broadcast()
+	}
+
+	if len(seg.payload) > 0 {
+		switch t.state {
+		case stateEstablished, stateFinWait1, stateFinWait2:
+			switch {
+			case seg.seq == t.rcvNxt:
+				t.rcvBuf = append(t.rcvBuf, seg.payload...)
+				t.rcvNxt += uint32(len(seg.payload))
+				t.drainOOO()
+				t.cond.Broadcast()
+			case seqLT(t.rcvNxt, seg.seq):
+				// Future segment: stash for reassembly (bounded).
+				if t.ooo == nil {
+					t.ooo = map[uint32][]byte{}
+				}
+				if len(t.ooo) < maxOOOSegments {
+					if _, dup := t.ooo[seg.seq]; !dup {
+						t.ooo[seg.seq] = append([]byte(nil), seg.payload...)
+					}
+				}
+			}
+			// ACK everything: in-order data advances rcvNxt; dups and
+			// gaps produce the duplicate ACKs that prod the sender.
+			t.send(tcpSegment{seq: t.sndNxt, ack: t.rcvNxt, flags: flagACK})
+		default:
+			t.send(tcpSegment{seq: t.sndNxt, ack: t.rcvNxt, flags: flagACK})
+		}
+	}
+
+	if seg.flags&flagFIN != 0 {
+		finSeq := seg.seq + uint32(len(seg.payload))
+		if finSeq == t.rcvNxt {
+			t.rcvNxt++
+			t.rcvClosed = true
+			t.send(tcpSegment{seq: t.sndNxt, ack: t.rcvNxt, flags: flagACK})
+			switch t.state {
+			case stateEstablished:
+				t.state = stateCloseWait
+			case stateFinWait1:
+				// Our FIN not yet acked: simultaneous close.
+				t.state = stateClosing
+			case stateFinWait2:
+				t.enterTimeWait()
+			}
+			t.cond.Broadcast()
+		} else if seqLT(finSeq, t.rcvNxt) {
+			// Duplicate FIN: re-ACK.
+			t.send(tcpSegment{seq: t.sndNxt, ack: t.rcvNxt, flags: flagACK})
+		}
+	}
+
+	t.transmit()
+}
+
+// drainOOO appends any stashed segments that have become contiguous.
+// Called with t.mu held after rcvNxt advances.
+func (t *TCB) drainOOO() {
+	for {
+		payload, ok := t.ooo[t.rcvNxt]
+		if !ok {
+			// Also discard anything now wholly in the past.
+			for seq := range t.ooo {
+				if seqLT(seq, t.rcvNxt) {
+					delete(t.ooo, seq)
+				}
+			}
+			return
+		}
+		delete(t.ooo, t.rcvNxt)
+		t.rcvBuf = append(t.rcvBuf, payload...)
+		t.rcvNxt += uint32(len(payload))
+	}
+}
+
+func (t *TCB) enterTimeWait() {
+	t.state = stateTimeWait
+	t.rtoArmed = false
+	t.timeWaitAt = time.Now().Add(timeWaitDelay)
+}
+
+// --- Public connection API ------------------------------------------------
+
+// Read fills buf with received data, blocking until at least one byte,
+// EOF (peer FIN), or error.
+func (t *TCB) Read(buf []byte) (int, error) {
+	return t.ReadDeadline(buf, time.Time{})
+}
+
+// ReadDeadline is Read with an absolute deadline (zero = none).
+func (t *TCB) ReadDeadline(buf []byte, deadline time.Time) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.waitCond(deadline, func() bool {
+		return len(t.rcvBuf) > 0 || t.rcvClosed
+	})
+	if len(t.rcvBuf) == 0 {
+		if err != nil {
+			return 0, err
+		}
+		return 0, io.EOF
+	}
+	n := copy(buf, t.rcvBuf)
+	t.rcvBuf = t.rcvBuf[n:]
+	return n, nil
+}
+
+// Avail returns the number of buffered received bytes (non-blocking).
+func (t *TCB) Avail() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.rcvBuf)
+}
+
+// Write queues data for transmission, blocking while the send buffer
+// is full. It returns early with the connection's error if it dies.
+func (t *TCB) Write(data []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	written := 0
+	for written < len(data) {
+		if t.err != nil {
+			return written, t.err
+		}
+		if t.sndClosed {
+			return written, ErrConnClosed
+		}
+		switch t.state {
+		case stateEstablished, stateCloseWait:
+		default:
+			return written, ErrConnClosed
+		}
+		space := sndBufLimit - len(t.sndBuf)
+		if space <= 0 {
+			if err := t.waitCond(time.Now().Add(10*time.Second), func() bool {
+				return len(t.sndBuf) < sndBufLimit || t.err != nil || t.sndClosed
+			}); err != nil {
+				return written, err
+			}
+			continue
+		}
+		n := len(data) - written
+		if n > space {
+			n = space
+		}
+		t.sndBuf = append(t.sndBuf, data[written:written+n]...)
+		written += n
+		t.transmit()
+	}
+	return written, nil
+}
+
+// Close performs a graceful shutdown: queued data is sent, then FIN.
+func (t *TCB) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sndClosed || t.state == stateClosed {
+		return nil
+	}
+	switch t.state {
+	case stateSynSent, stateSynRcvd, stateListen:
+		t.abortLocked(ErrConnClosed, t.state == stateSynRcvd)
+		return nil
+	}
+	t.sndClosed = true
+	t.transmit()
+	t.cond.Broadcast()
+	return nil
+}
+
+// Established reports whether the connection is usable for data.
+func (t *TCB) Established() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state == stateEstablished || t.state == stateCloseWait
+}
+
+// Alive reports whether the connection still exists in any live state
+// (the Dynamic C tcp_tick(&sock) truthiness).
+func (t *TCB) Alive() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch t.state {
+	case stateClosed:
+		return false
+	case stateTimeWait:
+		return false
+	}
+	return true
+}
+
+// Err returns the terminal error, if any.
+func (t *TCB) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// WaitEstablished blocks until the handshake completes or fails.
+func (t *TCB) WaitEstablished(timeout time.Duration) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	return t.waitCond(deadline, func() bool {
+		return t.state == stateEstablished || t.state == stateCloseWait
+	})
+}
+
+// WaitClosed blocks until the connection fully drains and closes.
+func (t *TCB) WaitClosed(timeout time.Duration) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	err := t.waitCond(deadline, func() bool {
+		return t.state == stateClosed || t.state == stateTimeWait
+	})
+	if err == ErrTimeout {
+		return err
+	}
+	return nil
+}
+
+// --- Connect (active open) -------------------------------------------------
+
+// Connect opens a TCP connection to dst:port, blocking until the
+// handshake completes or the timeout expires.
+func (s *Stack) Connect(dst Addr, port uint16, timeout time.Duration) (*TCB, error) {
+	t := newTCB(s)
+	s.mu.Lock()
+	local := s.ephemeralPort()
+	if local == 0 {
+		s.mu.Unlock()
+		return nil, errors.New("tcpip: no free ephemeral ports")
+	}
+	t.localPort = local
+	t.remoteIP = dst
+	t.remotePort = port
+	t.iss = s.isn.Uint32()
+	t.sndUna = t.iss
+	t.sndNxt = t.iss + 1
+	t.state = stateSynSent
+	s.tcbs[tcpKey{dst, port, local}] = t
+	s.mu.Unlock()
+
+	t.mu.Lock()
+	t.send(tcpSegment{seq: t.iss, flags: flagSYN})
+	t.armRTO()
+	deadline := time.Now().Add(timeout)
+	err := t.waitCond(deadline, func() bool { return t.state == stateEstablished })
+	t.mu.Unlock()
+	if err != nil {
+		t.abort(err)
+		return nil, fmt.Errorf("tcpip: connect %s:%d: %w", dst, port, err)
+	}
+	return t, nil
+}
+
+// --- BSD-style listener -----------------------------------------------------
+
+// Listener is a BSD-style passive socket; Accept yields established
+// connections.
+type Listener struct {
+	stack    *Stack
+	port     uint16
+	backlog  int
+	acceptCh chan *TCB
+	mu       sync.Mutex
+	pending  int
+	closed   bool
+}
+
+// Listen binds a BSD-style listener. backlog bounds connections that
+// completed the handshake but have not been accepted (LISTENQ).
+func (s *Stack) Listen(port uint16, backlog int) (*Listener, error) {
+	if backlog < 1 {
+		backlog = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.listeners[port]; ok {
+		return nil, fmt.Errorf("%w: tcp/%d", ErrPortInUse, port)
+	}
+	if len(s.dcListen[port]) > 0 {
+		return nil, fmt.Errorf("%w: tcp/%d (DC listener present)", ErrPortInUse, port)
+	}
+	l := &Listener{stack: s, port: port, backlog: backlog,
+		acceptCh: make(chan *TCB, backlog)}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// Port returns the listening port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// Accept blocks for the next established connection.
+func (l *Listener) Accept(timeout time.Duration) (*TCB, error) {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		timer = time.After(timeout)
+	}
+	select {
+	case t, ok := <-l.acceptCh:
+		if !ok {
+			return nil, ErrConnClosed
+		}
+		l.mu.Lock()
+		l.pending--
+		l.mu.Unlock()
+		return t, nil
+	case <-timer:
+		return nil, ErrTimeout
+	}
+}
+
+// deliver hands an established connection to Accept. Called by the
+// TCB state machine with no TCB lock held; the pending counter
+// guarantees channel capacity.
+func (l *Listener) deliver(conn *TCB) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		conn.abort(ErrConnClosed)
+		return
+	}
+	l.acceptCh <- conn
+	l.mu.Unlock()
+}
+
+// Close stops listening. Queued-but-unaccepted connections are reset.
+func (l *Listener) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.stack.mu.Lock()
+	if l.stack.listeners[l.port] == l {
+		delete(l.stack.listeners, l.port)
+	}
+	l.stack.mu.Unlock()
+	close(l.acceptCh)
+	for t := range l.acceptCh {
+		t.abort(ErrConnClosed)
+	}
+}
+
+// --- Dynamic-C-style one-shot listen ----------------------------------------
+
+// ListenOne registers a Dynamic-C-style listening socket: the returned
+// TCB itself becomes the connection when a SYN arrives (tcp_listen
+// semantics). Multiple ListenOne sockets may share a port; an incoming
+// SYN claims the oldest. If no socket is listening, the SYN is refused
+// with RST — this is what enforces the three-connection limit of the
+// paper's Fig. 3 server.
+func (s *Stack) ListenOne(port uint16) (*TCB, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.listeners[port]; ok {
+		return nil, fmt.Errorf("%w: tcp/%d (BSD listener present)", ErrPortInUse, port)
+	}
+	t := newTCB(s)
+	t.localPort = port
+	t.state = stateListen
+	s.dcListen[port] = append(s.dcListen[port], t)
+	return t, nil
+}
+
+// --- Stack-level TCP demux ----------------------------------------------------
+
+func (s *Stack) handleTCP(p ipPacket) {
+	if pseudoChecksum(ProtoTCP, p.src, p.dst, p.payload) != 0 {
+		return
+	}
+	seg, ok := parseTCP(p.payload)
+	if !ok {
+		return
+	}
+	key := tcpKey{p.src, seg.srcPort, seg.dstPort}
+	s.mu.Lock()
+	t, found := s.tcbs[key]
+	var fresh bool
+	if !found && seg.flags&flagSYN != 0 && seg.flags&flagACK == 0 {
+		t, fresh = s.matchSYNLocked(p.src, seg, key)
+	}
+	s.mu.Unlock()
+	if t != nil && fresh {
+		// Bind outside s.mu (lock order: t.mu → s.mu only). If the
+		// socket was closed in the meantime, refuse the connection.
+		if !t.bindPassive(p.src, seg) {
+			s.mu.Lock()
+			if s.tcbs[key] == t {
+				delete(s.tcbs, key)
+			}
+			s.mu.Unlock()
+			s.sendRST(p.src, seg)
+			return
+		}
+	}
+	if t != nil {
+		t.handleSegment(seg)
+		return
+	}
+	if seg.flags&flagRST == 0 {
+		s.sendRST(p.src, seg)
+	}
+}
+
+// matchSYNLocked matches an incoming SYN against DC one-shot sockets
+// first, then BSD listeners, registering the owning TCB in the
+// connection table. It does NOT touch t.mu. Called with s.mu held.
+func (s *Stack) matchSYNLocked(src Addr, seg tcpSegment, key tcpKey) (*TCB, bool) {
+	port := seg.dstPort
+	if ls := s.dcListen[port]; len(ls) > 0 {
+		t := ls[0]
+		s.dcListen[port] = ls[1:]
+		if len(s.dcListen[port]) == 0 {
+			delete(s.dcListen, port)
+		}
+		s.tcbs[key] = t
+		return t, true
+	}
+	if l, ok := s.listeners[port]; ok {
+		l.mu.Lock()
+		full := l.closed || l.pending >= l.backlog
+		if !full {
+			l.pending++
+		}
+		l.mu.Unlock()
+		if full {
+			return nil, false
+		}
+		t := newTCB(s)
+		t.localPort = port
+		t.onEstablished = l.deliver
+		s.tcbs[key] = t
+		return t, true
+	}
+	return nil, false
+}
+
+// bindPassive points a TCB at the SYN's originator and moves it to
+// SYN_RCVD. It reports false if the socket was concurrently closed.
+// The SYN-ACK itself is sent by handleSegment, which processes this
+// same SYN next and hits the SYN_RCVD duplicate-SYN path.
+func (t *TCB) bindPassive(src Addr, seg tcpSegment) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// A DC socket must still be listening; a fresh BSD-side TCB is in
+	// its virgin zero state. Anything else means a racing Close/abort.
+	if t.err != nil || (t.state != stateListen && t.state != stateClosed) ||
+		t.remotePort != 0 {
+		return false
+	}
+	t.remoteIP = src
+	t.remotePort = seg.srcPort
+	t.irs = seg.seq
+	t.rcvNxt = seg.seq + 1
+	t.iss = t.stack.isn.Uint32()
+	t.sndUna = t.iss
+	t.sndNxt = t.iss + 1
+	t.peerWnd = seg.window
+	t.state = stateSynRcvd
+	t.rto = initialRTO
+	t.rtoArmed = true
+	t.rtoDeadline = time.Now().Add(t.rto)
+	return true
+}
+
+// sendRST answers an unmatched segment with a reset.
+func (s *Stack) sendRST(dst Addr, seg tcpSegment) {
+	var rst tcpSegment
+	rst.srcPort = seg.dstPort
+	rst.dstPort = seg.srcPort
+	rst.flags = flagRST | flagACK
+	if seg.flags&flagACK != 0 {
+		rst.seq = seg.ack
+	}
+	adv := uint32(len(seg.payload))
+	if seg.flags&flagSYN != 0 {
+		adv++
+	}
+	if seg.flags&flagFIN != 0 {
+		adv++
+	}
+	rst.ack = seg.seq + adv
+	raw := marshalTCP(s.ip, dst, rst)
+	s.mu.Lock()
+	s.sendIP(dst, ProtoTCP, raw)
+	s.mu.Unlock()
+}
