@@ -1,0 +1,89 @@
+package issl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Alerts. The original issl, like the SSL it imitated, needed a way to
+// say "this connection is over, and here is why" that survives an
+// attacker on the wire: alert records travel under the record-layer
+// MAC, so a forged teardown is just another ErrBadMAC. The close
+// record's single plaintext byte is the alert code; code 0 is the
+// orderly close_notify, anything else a fatal alert that tears the
+// connection down on both ends.
+
+// AlertCode identifies why a connection was torn down. Values borrow
+// TLS's numbering where one fits.
+type AlertCode uint8
+
+// Alert codes.
+const (
+	// AlertCloseNotify is the orderly end of stream (not an error).
+	AlertCloseNotify AlertCode = 0
+	// AlertBadRecordMAC: a record failed authentication or decryption.
+	AlertBadRecordMAC AlertCode = 20
+	// AlertDecodeError: a record was structurally malformed.
+	AlertDecodeError AlertCode = 50
+	// AlertRecordOverflow: a record exceeded the profile's static buffers.
+	AlertRecordOverflow AlertCode = 22
+	// AlertInternalError: the sender hit a local failure mid-connection.
+	AlertInternalError AlertCode = 80
+)
+
+func (a AlertCode) String() string {
+	switch a {
+	case AlertCloseNotify:
+		return "close_notify"
+	case AlertBadRecordMAC:
+		return "bad_record_mac"
+	case AlertDecodeError:
+		return "decode_error"
+	case AlertRecordOverflow:
+		return "record_overflow"
+	case AlertInternalError:
+		return "internal_error"
+	default:
+		return fmt.Sprintf("alert(%d)", uint8(a))
+	}
+}
+
+// AlertError is the typed teardown error: either we generated the
+// alert (Remote=false; the underlying cause is wrapped and reachable
+// with errors.Is/As) or the peer sent it to us (Remote=true).
+type AlertError struct {
+	Code   AlertCode
+	Remote bool  // true: received from the peer; false: raised locally
+	cause  error // local alerts: the record-layer error that triggered it
+}
+
+func (e *AlertError) Error() string {
+	side := "local"
+	if e.Remote {
+		side = "remote"
+	}
+	if e.cause != nil {
+		return fmt.Sprintf("issl: %s alert %s: %v", side, e.Code, e.cause)
+	}
+	return fmt.Sprintf("issl: %s alert %s", side, e.Code)
+}
+
+// Unwrap exposes the triggering record-layer error (ErrBadMAC and
+// friends) so existing errors.Is checks keep working.
+func (e *AlertError) Unwrap() error { return e.cause }
+
+// alertFor maps a record-layer failure to the alert code we send.
+func alertFor(err error) AlertCode {
+	switch {
+	case err == nil:
+		return AlertCloseNotify
+	case errors.Is(err, ErrBadMAC):
+		return AlertBadRecordMAC
+	case errors.Is(err, ErrRecordTooBig):
+		return AlertRecordOverflow
+	case errors.Is(err, ErrBadRecord):
+		return AlertDecodeError
+	default:
+		return AlertInternalError
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/crypto/aes"
 	"repro/internal/crypto/prng"
@@ -35,6 +36,16 @@ type Conn struct {
 	peerClose bool
 	closed    atomic.Bool
 
+	// readDeadline bounds record reads (see SetReadDeadline). Owned by
+	// the reading goroutine.
+	readDeadline time.Time
+
+	// failErr is the first fatal record-layer error; once set, every
+	// Read and Write returns it. Guarded by failMu (Read and Write run
+	// on different goroutines).
+	failMu  sync.Mutex
+	failErr error
+
 	sessionID [SessionIDLen]byte
 	resumed   bool
 
@@ -60,9 +71,72 @@ func (c *Conn) Stats() (bytesIn, bytesOut, recordsIn, recordsOut uint64) {
 	return c.bytesIn, c.bytesOut, c.recordsIn, c.recordsOut
 }
 
+// SetReadDeadline bounds subsequent Reads: a record that has not fully
+// arrived by t fails with the transport's timeout error. A zero t
+// clears the deadline. It must be called from the reading goroutine
+// (the Conn supports one concurrent reader).
+func (c *Conn) SetReadDeadline(t time.Time) { c.readDeadline = t }
+
+// fail records the first fatal error; later calls keep the original.
+func (c *Conn) fail(err error) error {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	if c.failErr == nil {
+		c.failErr = err
+	}
+	return c.failErr
+}
+
+func (c *Conn) terminalErr() error {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	return c.failErr
+}
+
+// failAndAlert converts a record-layer failure into a typed local
+// alert: the peer gets a best-effort authenticated alert record, the
+// connection is marked dead, and the AlertError (which unwraps to the
+// triggering sentinel) becomes the terminal error.
+func (c *Conn) failAndAlert(cause error) error {
+	ae := &AlertError{Code: alertFor(cause), cause: cause}
+	err := c.fail(ae)
+	if err == ae { // first failure: we own sending the alert
+		c.trySendAlert(ae.Code)
+		c.cfg.logf("issl: fatal: sent alert %s (%v)", ae.Code, cause)
+	}
+	return err
+}
+
+// alertWriteTimeout caps how long a dying connection blocks trying to
+// tell its peer why.
+const alertWriteTimeout = 250 * time.Millisecond
+
+// trySendAlert writes a fatal alert record, best effort: it gives up
+// quietly if the connection is already closed or the transport is
+// wedged (bounded by a write deadline when the transport has one).
+func (c *Conn) trySendAlert(code AlertCode) {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	c.wMu.Lock()
+	defer c.wMu.Unlock()
+	if wd, ok := c.tr.(interface{ SetWriteDeadline(t time.Time) error }); ok {
+		wd.SetWriteDeadline(time.Now().Add(alertWriteTimeout))
+		defer wd.SetWriteDeadline(time.Time{})
+	}
+	sealed, err := c.sealRecord(recClose, []byte{byte(code)})
+	if err != nil {
+		return
+	}
+	c.writeRecord(recClose, sealed)
+}
+
 // Write encrypts and sends data, fragmenting into records no larger
 // than the profile's limit (the embedded port's static buffers).
 func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.terminalErr(); err != nil {
+		return 0, err
+	}
 	if c.closed.Load() {
 		return 0, ErrClosed
 	}
@@ -90,36 +164,51 @@ func (c *Conn) Write(p []byte) (int, error) {
 }
 
 // Read returns decrypted plaintext, blocking for at least one byte.
-// It returns io.EOF after the peer's close_notify.
+// It returns io.EOF after the peer's close_notify. A record that fails
+// authentication or decoding is fatal: the peer is sent a typed alert,
+// the connection is dead, and the returned *AlertError unwraps to the
+// record-layer sentinel (ErrBadMAC and friends). A fatal alert from
+// the peer surfaces the same way with Remote set.
 func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.terminalErr(); err != nil {
+		return 0, err
+	}
 	for len(c.rbuf) == 0 {
 		if c.peerClose {
 			return 0, io.EOF
 		}
 		recType, body, err := c.readRecord()
 		if err != nil {
-			return 0, err
+			return 0, err // transport-level; nothing to alert over
 		}
 		switch recType {
 		case recData:
 			pt, err := c.openRecord(recData, body)
 			if err != nil {
-				return 0, err
+				return 0, c.failAndAlert(err)
 			}
 			if len(pt) > c.cfg.maxRecord() {
 				// A peer sent more than our static buffers can take.
-				return 0, fmt.Errorf("%w: %d > %d", ErrRecordTooBig, len(pt), c.cfg.maxRecord())
+				err := fmt.Errorf("%w: %d > %d", ErrRecordTooBig, len(pt), c.cfg.maxRecord())
+				return 0, c.failAndAlert(err)
 			}
 			c.rbuf = append(c.rbuf, pt...)
 			c.bytesIn += uint64(len(pt))
 			c.recordsIn++
 		case recClose:
-			if _, err := c.openRecord(recClose, body); err != nil {
-				return 0, err
+			pt, err := c.openRecord(recClose, body)
+			if err != nil {
+				return 0, c.failAndAlert(err)
+			}
+			if len(pt) >= 1 && AlertCode(pt[0]) != AlertCloseNotify {
+				ae := &AlertError{Code: AlertCode(pt[0]), Remote: true}
+				c.cfg.logf("issl: peer sent fatal alert %s", ae.Code)
+				return 0, c.fail(ae)
 			}
 			c.peerClose = true
 		default:
-			return 0, fmt.Errorf("%w: unexpected record type %#x", ErrBadRecord, recType)
+			err := fmt.Errorf("%w: unexpected record type %#x", ErrBadRecord, recType)
+			return 0, c.failAndAlert(err)
 		}
 	}
 	n := copy(p, c.rbuf)
@@ -135,9 +224,15 @@ func (c *Conn) Close() error {
 	}
 	c.wMu.Lock()
 	defer c.wMu.Unlock()
-	sealed, err := c.sealRecord(recClose, []byte{0})
+	sealed, err := c.sealRecord(recClose, []byte{byte(AlertCloseNotify)})
 	if err != nil {
 		return err
 	}
 	return c.writeRecord(recClose, sealed)
 }
+
+// CloseWrite half-closes the connection: close_notify goes out and
+// further Writes fail, but Reads continue until the peer's own
+// close_notify — the secure-layer analogue of TCP shutdown(SHUT_WR),
+// which the redirector's pump uses to propagate one-directional EOF.
+func (c *Conn) CloseWrite() error { return c.Close() }

@@ -1,0 +1,166 @@
+package issl
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/crypto/prng"
+)
+
+// Reconnection. The paper's client talks to a watchdog-supervised
+// board over a real wire: connections die — the board reboots, the hub
+// drops a burst, somebody trips over the cable — and the client's job
+// is to get back on with as little ceremony as possible. DialWithRetry
+// redials with capped exponential backoff plus deterministic jitter
+// and offers the previous session on every attempt, so a server whose
+// cache survived (the paper's `protected` storage) grants the cheap
+// abbreviated handshake and only a genuinely amnesiac server costs a
+// full one.
+
+// RetryPolicy shapes DialWithRetry's backoff. The zero value gets the
+// defaults noted per field.
+type RetryPolicy struct {
+	// MaxAttempts is the total connection attempts before giving up
+	// (default 5).
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure (default 50ms);
+	// it doubles per failure.
+	BaseDelay time.Duration
+	// MaxDelay caps the doubling (default 2s).
+	MaxDelay time.Duration
+	// JitterPct spreads each delay uniformly in ±JitterPct% (default
+	// 20, drawn from the Config's deterministic PRNG; 0 keeps the
+	// default — use -1 for none).
+	JitterPct int
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.JitterPct == 0 {
+		p.JitterPct = 20
+	}
+	if p.JitterPct < 0 {
+		p.JitterPct = 0
+	}
+	if p.JitterPct > 100 {
+		p.JitterPct = 100
+	}
+	return p
+}
+
+// DialStats counts what reconnection cost.
+type DialStats struct {
+	Attempts       uint64 // transport dials attempted
+	DialFailures   uint64 // transport dials that failed
+	HandshakeFails uint64 // transports that connected but failed to bind
+	FullHandshakes uint64 // successful binds that ran the full handshake
+	Resumptions    uint64 // successful binds via abbreviated resumption
+}
+
+// Dialer reconnects an issl client across transport failures, keeping
+// the resumable session between attempts. Methods are not safe for
+// concurrent use; a Dialer serves one logical client connection.
+type Dialer struct {
+	// Dial opens a fresh transport (e.g. a tcpip.Stack Connect). Required.
+	Dial func() (io.ReadWriteCloser, error)
+	// Config is the client handshake configuration. Config.Resume is
+	// overridden per attempt with the Dialer's cached session.
+	Config Config
+	// Policy shapes the backoff; zero value = defaults.
+	Policy RetryPolicy
+	// Sleep is the delay hook, defaulting to time.Sleep (tests and the
+	// chaos harness substitute their own to observe the schedule).
+	Sleep func(time.Duration)
+
+	session *Session
+	stats   DialStats
+}
+
+// Stats returns a snapshot of the reconnect counters.
+func (d *Dialer) Stats() DialStats { return d.stats }
+
+// Session returns the currently cached resumable session, if any.
+func (d *Dialer) Session() *Session { return d.session }
+
+// ForgetSession drops the cached session so the next dial is full.
+func (d *Dialer) ForgetSession() { d.session = nil }
+
+// DialWithRetry dials and binds until one attempt yields a live secure
+// connection or the policy's attempts are exhausted. Each attempt
+// offers the cached session for abbreviated resumption; the server
+// falls back to a full handshake on its own if its cache entry is
+// gone, and a handshake-level failure drops the cached session so the
+// next attempt starts clean. The returned transport is owned by the
+// caller (close it after the Conn).
+func (d *Dialer) DialWithRetry() (*Conn, io.ReadWriteCloser, error) {
+	if d.Dial == nil {
+		return nil, nil, fmt.Errorf("%w: Dialer needs a Dial function", ErrConfig)
+	}
+	pol := d.Policy.withDefaults()
+	sleep := d.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	delay := pol.BaseDelay
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		d.stats.Attempts++
+		tr, err := d.Dial()
+		if err == nil {
+			cfg := d.Config
+			cfg.Resume = d.session
+			conn, herr := BindClient(tr, cfg)
+			if herr == nil {
+				if conn.Resumed() {
+					d.stats.Resumptions++
+				} else {
+					d.stats.FullHandshakes++
+				}
+				if s := conn.Session(); s != nil {
+					d.session = s
+				}
+				return conn, tr, nil
+			}
+			tr.Close()
+			if cfg.Resume != nil {
+				// The resumption offer may itself be what failed (stale
+				// cache, desynced state): next attempt goes in clean.
+				d.session = nil
+			}
+			d.stats.HandshakeFails++
+			lastErr = herr
+		} else {
+			d.stats.DialFailures++
+			lastErr = err
+		}
+		if attempt >= pol.MaxAttempts {
+			return nil, nil, fmt.Errorf("issl: dial failed after %d attempts: %w", attempt, lastErr)
+		}
+		sleep(jitter(delay, pol.JitterPct, d.Config.Rand))
+		delay *= 2
+		if delay > pol.MaxDelay {
+			delay = pol.MaxDelay
+		}
+	}
+}
+
+// jitter spreads d uniformly across ±pct%, deterministically via rng.
+func jitter(d time.Duration, pct int, rng *prng.Xorshift) time.Duration {
+	if pct <= 0 || rng == nil || d <= 0 {
+		return d
+	}
+	span := int(d) * pct / 100
+	if span <= 0 {
+		return d
+	}
+	return d - time.Duration(span) + time.Duration(rng.Intn(2*span+1))
+}

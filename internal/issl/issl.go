@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/crypto/aes"
 	"repro/internal/crypto/prng"
@@ -88,17 +89,24 @@ type Config struct {
 	Resume *Session
 	// Cache enables session issuance and resumption (server side).
 	Cache *SessionCache
+	// HandshakeTimeout bounds the whole handshake when > 0: a peer that
+	// stalls mid-handshake (a half-open connection on a degraded wire)
+	// fails with ErrHandshakeTimeout instead of wedging the endpoint
+	// forever. Honored when the transport supports read deadlines
+	// (tcpip.TCB and net.Conn both do).
+	HandshakeTimeout time.Duration
 }
 
 // Errors returned by handshake and record processing.
 var (
-	ErrConfig          = errors.New("issl: invalid configuration")
-	ErrHandshake       = errors.New("issl: handshake failure")
-	ErrBadRecord       = errors.New("issl: malformed record")
-	ErrBadMAC          = errors.New("issl: record authentication failed")
-	ErrRecordTooBig    = errors.New("issl: record exceeds profile limit")
-	ErrProfileMismatch = errors.New("issl: peers negotiated different profiles")
-	ErrClosed          = errors.New("issl: connection closed")
+	ErrConfig           = errors.New("issl: invalid configuration")
+	ErrHandshake        = errors.New("issl: handshake failure")
+	ErrHandshakeTimeout = errors.New("issl: handshake deadline exceeded")
+	ErrBadRecord        = errors.New("issl: malformed record")
+	ErrBadMAC           = errors.New("issl: record authentication failed")
+	ErrRecordTooBig     = errors.New("issl: record exceeds profile limit")
+	ErrProfileMismatch  = errors.New("issl: peers negotiated different profiles")
+	ErrClosed           = errors.New("issl: connection closed")
 )
 
 func (c *Config) validate(server bool) error {
@@ -157,31 +165,38 @@ func (c *Config) logf(format string, args ...any) {
 // the paper describes: create a plain socket, then bind the library to
 // it.
 func BindServer(transport io.ReadWriter, cfg Config) (*Conn, error) {
-	if err := cfg.validate(true); err != nil {
-		return nil, err
-	}
-	conn := newConn(transport, cfg)
-	if err := conn.serverHandshake(); err != nil {
-		cfg.logf("issl: server handshake failed: %v", err)
-		return nil, err
-	}
-	cfg.logf("issl: server handshake complete (profile=%s key=%d block=%d)",
-		cfg.Profile, cfg.KeyBits, cfg.BlockBits)
-	return conn, nil
+	return bind(transport, cfg, true)
 }
 
 // BindClient performs the client side of the handshake.
 func BindClient(transport io.ReadWriter, cfg Config) (*Conn, error) {
-	if err := cfg.validate(false); err != nil {
+	return bind(transport, cfg, false)
+}
+
+func bind(transport io.ReadWriter, cfg Config, server bool) (*Conn, error) {
+	if err := cfg.validate(server); err != nil {
 		return nil, err
 	}
 	conn := newConn(transport, cfg)
-	if err := conn.clientHandshake(); err != nil {
-		cfg.logf("issl: client handshake failed: %v", err)
+	var deadline time.Time
+	if cfg.HandshakeTimeout > 0 {
+		deadline = time.Now().Add(cfg.HandshakeTimeout)
+		conn.readDeadline = deadline
+	}
+	role, hs := "client", conn.clientHandshake
+	if server {
+		role, hs = "server", conn.serverHandshake
+	}
+	if err := hs(); err != nil {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			err = fmt.Errorf("%w (%v): %w", ErrHandshakeTimeout, cfg.HandshakeTimeout, err)
+		}
+		cfg.logf("issl: %s handshake failed: %v", role, err)
 		return nil, err
 	}
-	cfg.logf("issl: client handshake complete (profile=%s key=%d block=%d)",
-		cfg.Profile, cfg.KeyBits, cfg.BlockBits)
+	conn.readDeadline = time.Time{}
+	cfg.logf("issl: %s handshake complete (profile=%s key=%d block=%d resumed=%v)",
+		role, cfg.Profile, cfg.KeyBits, cfg.BlockBits, conn.resumed)
 	return conn, nil
 }
 

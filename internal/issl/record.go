@@ -3,6 +3,7 @@ package issl
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/crypto/sha1"
 )
@@ -45,10 +46,49 @@ func (c *Conn) writeRecord(recType byte, body []byte) error {
 	return nil
 }
 
+// Deadline plumbing. The record layer is transport-agnostic; deadlines
+// are honored when the transport offers either the tcpip.TCB-style
+// per-call API or the net.Conn-style set-once API, and silently
+// best-effort otherwise.
+type deadlineReader interface {
+	ReadDeadline(buf []byte, deadline time.Time) (int, error)
+}
+
+type deadlineSetter interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// readFull fills buf from the transport, honoring c.readDeadline.
+func (c *Conn) readFull(buf []byte) error {
+	dl := c.readDeadline
+	if !dl.IsZero() {
+		if dr, ok := c.tr.(deadlineReader); ok {
+			n := 0
+			for n < len(buf) {
+				m, err := dr.ReadDeadline(buf[n:], dl)
+				n += m
+				if err != nil {
+					if err == io.EOF && n > 0 {
+						err = io.ErrUnexpectedEOF
+					}
+					return err
+				}
+			}
+			return nil
+		}
+		if ds, ok := c.tr.(deadlineSetter); ok {
+			ds.SetReadDeadline(dl)
+			defer ds.SetReadDeadline(time.Time{})
+		}
+	}
+	_, err := io.ReadFull(c.tr, buf)
+	return err
+}
+
 // readRecord reads exactly one record, returning its type and body.
 func (c *Conn) readRecord() (byte, []byte, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(c.tr, hdr[:]); err != nil {
+	if err := c.readFull(hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	if hdr[1] != protocolVersion {
@@ -56,7 +96,10 @@ func (c *Conn) readRecord() (byte, []byte, error) {
 	}
 	n := int(hdr[2])<<8 | int(hdr[3])
 	body := make([]byte, n)
-	if _, err := io.ReadFull(c.tr, body); err != nil {
+	if err := c.readFull(body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return 0, nil, fmt.Errorf("%w: truncated body: %v", ErrBadRecord, err)
 	}
 	return hdr[0], body, nil

@@ -40,15 +40,20 @@ type Frame struct {
 	Payload   []byte
 }
 
-// Hub is a shared-medium repeater with optional latency and loss.
-// The zero value is not usable; call NewHub.
+// Hub is a shared-medium repeater with optional latency, loss, and a
+// scriptable FaultPlan (see fault.go). The zero value is not usable;
+// call NewHub.
 type Hub struct {
 	mu      sync.Mutex
 	ports   []*Port
 	latency time.Duration
-	lossPct int // 0..100
+	lossPct int // 0..100 uniform loss, independent of any FaultPlan
 	rng     *prng.Xorshift
 	closed  bool
+
+	fault      *faultState       // nil: clean wire
+	faultStats FaultStats        // cumulative across plans; survives SetFaultPlan(nil)
+	partitions map[MAC]time.Time // MAC -> heal deadline (zero: manual)
 
 	// Stats, observable by tests.
 	framesSent    uint64
@@ -68,17 +73,24 @@ func (h *Hub) SetLatency(d time.Duration) {
 }
 
 // SetLoss sets percentage frame loss (0–100), deterministic per seed.
-func (h *Hub) SetLoss(pct int, seed uint64) {
+// Out-of-range percentages are clamped and reported as an error so a
+// typo'd chaos script fails loudly instead of silently running clean.
+func (h *Hub) SetLoss(pct int, seed uint64) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if pct < 0 {
-		pct = 0
+	clamped := pct
+	if clamped < 0 {
+		clamped = 0
 	}
-	if pct > 100 {
-		pct = 100
+	if clamped > 100 {
+		clamped = 100
 	}
-	h.lossPct = pct
+	h.lossPct = clamped
 	h.rng = prng.NewXorshift(seed)
+	if clamped != pct {
+		return fmt.Errorf("%w: loss %d%% clamped to %d%%", ErrBadFaultPlan, pct, clamped)
+	}
+	return nil
 }
 
 // Stats returns total frames delivered and dropped so far.
@@ -91,25 +103,27 @@ func (h *Hub) Stats() (sent, dropped uint64) {
 // Close shuts down the hub and all attached ports.
 func (h *Hub) Close() {
 	h.mu.Lock()
-	ports := h.ports
-	h.ports = nil
+	defer h.mu.Unlock()
 	h.closed = true
-	h.mu.Unlock()
-	for _, p := range ports {
-		p.close()
+	for _, p := range h.ports {
+		p.closeLocked()
 	}
+	h.ports = nil
 }
 
 // ErrHubClosed is returned when transmitting through a closed hub.
 var ErrHubClosed = errors.New("netsim: hub closed")
 
+// ErrPortClosed is returned when transmitting on a detached port.
+var ErrPortClosed = errors.New("netsim: port closed")
+
 // Port is one attachment point on the hub — a NIC as seen by a host.
 type Port struct {
-	hub   *Hub
-	mac   MAC
-	rx    chan Frame
-	promi bool // promiscuous: receives every frame on the wire
-	once  sync.Once
+	hub    *Hub
+	mac    MAC
+	rx     chan Frame
+	promi  bool // promiscuous: receives every frame on the wire
+	closed bool // guarded by hub.mu; rx is closed exactly once with it
 }
 
 // rxQueueDepth bounds a port's receive queue; frames beyond it are
@@ -151,7 +165,10 @@ func (h *Hub) AttachPromiscuous(mac MAC) (*Port, error) {
 func (p *Port) MAC() MAC { return p.mac }
 
 // Send transmits a frame onto the wire. The source address is forced
-// to the port's own MAC. Delivery is asynchronous.
+// to the port's own MAC. Delivery is asynchronous. Frames may be lost,
+// corrupted, duplicated, reordered, or partitioned away per the hub's
+// loss setting and FaultPlan; none of that is visible to the sender,
+// exactly as on a real wire.
 func (p *Port) Send(f Frame) error {
 	f.Src = p.mac
 	h := p.hub
@@ -160,37 +177,47 @@ func (p *Port) Send(f Frame) error {
 		h.mu.Unlock()
 		return ErrHubClosed
 	}
+	if p.closed {
+		h.mu.Unlock()
+		return ErrPortClosed
+	}
+	now := time.Now()
+	if h.partitionedLocked(p.mac, now) {
+		h.faultStats.PartitionDrops++
+		h.framesDropped++
+		h.mu.Unlock()
+		return nil // the unplugged cable: sender cannot tell
+	}
 	if h.lossPct > 0 && h.rng.Intn(100) < h.lossPct {
 		h.framesDropped++
 		h.mu.Unlock()
 		return nil // lost on the wire; sender cannot tell
 	}
-	var targets []*Port
-	for _, q := range h.ports {
-		if q == p {
-			continue // hubs do not loop frames back
+	outgoing := []Frame{f}
+	if h.fault != nil {
+		onWire, released, lost := h.fault.applyFaults(f, &h.faultStats)
+		if lost {
+			h.framesDropped++
 		}
-		if f.Dst == Broadcast || f.Dst == q.mac || q.promi {
-			targets = append(targets, q)
+		outgoing = append(onWire, released...)
+	}
+	var deliveries []delivery
+	for _, fr := range outgoing {
+		targets := h.targetsLocked(fr, now)
+		h.framesSent++
+		if len(targets) > 0 {
+			deliveries = append(deliveries, delivery{fr, targets})
 		}
 	}
 	latency := h.latency
-	h.framesSent++
 	h.mu.Unlock()
 
 	deliver := func() {
-		for _, q := range targets {
-			// Copy the payload so receiver and sender never alias.
-			cp := f
-			cp.Payload = append([]byte(nil), f.Payload...)
-			select {
-			case q.rx <- cp:
-			default:
-				h.mu.Lock()
-				h.framesDropped++
-				h.mu.Unlock()
-			}
-		}
+		// Re-take the hub lock: a port may have detached (closing its
+		// rx channel) between scheduling and delivery.
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.deliverLocked(deliveries)
 	}
 	if latency > 0 {
 		time.AfterFunc(latency, deliver)
@@ -200,8 +227,77 @@ func (p *Port) Send(f Frame) error {
 	return nil
 }
 
+// delivery is one frame bound for a set of ports.
+type delivery struct {
+	frame   Frame
+	targets []*Port
+}
+
+// targetsLocked computes the ports a frame reaches: everything but its
+// own sender (matched by source MAC — hubs do not loop frames back)
+// and partitioned ports. h.mu held.
+func (h *Hub) targetsLocked(fr Frame, now time.Time) []*Port {
+	var targets []*Port
+	for _, q := range h.ports {
+		if q.mac == fr.Src {
+			continue
+		}
+		if h.partitionedLocked(q.mac, now) {
+			h.faultStats.PartitionDrops++
+			continue
+		}
+		if fr.Dst == Broadcast || fr.Dst == q.mac || q.promi {
+			targets = append(targets, q)
+		}
+	}
+	return targets
+}
+
+// deliverLocked pushes deliveries into receive queues. h.mu held; the
+// per-port closed flag is checked under the same lock, so a detaching
+// port can never see a send on its closed channel.
+func (h *Hub) deliverLocked(deliveries []delivery) {
+	for _, d := range deliveries {
+		for _, q := range d.targets {
+			if q.closed {
+				continue
+			}
+			// Copy the payload so receiver and sender never alias.
+			cp := d.frame
+			cp.Payload = append([]byte(nil), d.frame.Payload...)
+			select {
+			case q.rx <- cp:
+			default:
+				h.framesDropped++
+			}
+		}
+	}
+}
+
 // Recv returns the port's receive channel. The channel is closed when
-// the hub shuts down.
+// the hub shuts down or the port is detached.
 func (p *Port) Recv() <-chan Frame { return p.rx }
 
-func (p *Port) close() { p.once.Do(func() { close(p.rx) }) }
+// Close detaches the port from the hub: its receive channel closes and
+// further Sends return ErrPortClosed. Frames addressed to it are
+// dropped on the floor, as they would be for an unplugged NIC.
+func (p *Port) Close() {
+	p.hub.mu.Lock()
+	defer p.hub.mu.Unlock()
+	p.closeLocked()
+	kept := p.hub.ports[:0]
+	for _, q := range p.hub.ports {
+		if q != p {
+			kept = append(kept, q)
+		}
+	}
+	p.hub.ports = kept
+}
+
+// closeLocked closes the rx channel exactly once. hub.mu held.
+func (p *Port) closeLocked() {
+	if !p.closed {
+		p.closed = true
+		close(p.rx)
+	}
+}

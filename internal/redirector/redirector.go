@@ -56,6 +56,13 @@ type Config struct {
 	// Slots caps simultaneous connections (Embedded flavor; default 3,
 	// the paper's number).
 	Slots int
+	// BackendAttempts caps backend connect attempts per client
+	// connection (default 3). A backend that restarts — or sits behind
+	// a flaky hub — gets a second chance before the client is refused.
+	BackendAttempts int
+	// BackendRetryDelay is the wait after the first failed backend
+	// attempt (default 100ms); it doubles per failure.
+	BackendRetryDelay time.Duration
 	// Log receives service events. Optional.
 	Log issl.Logger
 	// RandSeed seeds the deterministic PRNG used for session crypto.
@@ -70,15 +77,39 @@ func (c *Config) logf(format string, args ...any) {
 
 // Stats counts service activity; all fields are atomically updated.
 type Stats struct {
-	Accepted      atomic.Uint64 // connections fully established
-	Refused       atomic.Uint64 // handshakes that failed
-	BytesForward  atomic.Uint64 // client -> backend plaintext bytes
-	BytesBackward atomic.Uint64 // backend -> client plaintext bytes
+	Accepted       atomic.Uint64 // connections fully established
+	Refused        atomic.Uint64 // handshakes that failed or backend-down refusals
+	BytesForward   atomic.Uint64 // client -> backend plaintext bytes
+	BytesBackward  atomic.Uint64 // backend -> client plaintext bytes
+	BackendRetries atomic.Uint64 // backend connect attempts beyond the first
+	BackendDown    atomic.Uint64 // clients refused because the backend stayed down
+	HalfCloses     atomic.Uint64 // one-directional EOFs propagated via half-close
 }
 
-// pump copies a<->b until both directions end. When one direction
-// sees EOF it closes its destination (TCP half-close via FIN, or an
-// issl close_notify) so the opposite direction drains and ends too.
+// closeWriter is implemented by every transport the pump handles: a
+// plain TCB (FIN with the read side open), a Dynamic C socket
+// (sock_close), and the issl adapters (close_notify).
+type closeWriter interface{ CloseWrite() error }
+
+// halfClose shuts down dst's write side only, so bytes still in flight
+// toward us keep flowing; a transport without half-close falls back to
+// a full close.
+func halfClose(dst io.WriteCloser, st *Stats) {
+	if cw, ok := dst.(closeWriter); ok {
+		if cw.CloseWrite() == nil {
+			st.HalfCloses.Add(1)
+			return
+		}
+	}
+	dst.Close()
+}
+
+// pump copies a<->b until both directions end. When one direction sees
+// a clean EOF it half-closes its destination (TCP shutdown(SHUT_WR)
+// semantics: FIN out, reads still open; or an issl close_notify) so a
+// client that finishes its request early still receives the backend's
+// full response. Only an actual error tears a destination down; both
+// ends are fully closed once both directions are done.
 func pump(client io.ReadWriteCloser, backend io.ReadWriteCloser, st *Stats) {
 	var wg sync.WaitGroup
 	copyDir := func(dst io.ReadWriteCloser, src io.Reader, counter *atomic.Uint64) {
@@ -89,19 +120,55 @@ func pump(client io.ReadWriteCloser, backend io.ReadWriteCloser, st *Stats) {
 			if n > 0 {
 				counter.Add(uint64(n))
 				if _, werr := dst.Write(buf[:n]); werr != nil {
-					break
+					dst.Close()
+					return
 				}
 			}
+			if err == io.EOF {
+				halfClose(dst, st)
+				return
+			}
 			if err != nil {
-				break
+				dst.Close()
+				return
 			}
 		}
-		dst.Close()
 	}
 	wg.Add(2)
 	go copyDir(backend, client, &st.BytesForward)
 	go copyDir(client, backend, &st.BytesBackward)
 	wg.Wait()
+	client.Close()
+	backend.Close()
+}
+
+// dialBackend connects to the backend with capped-doubling retries.
+// Counter semantics: each retry bumps BackendRetries; exhausting all
+// attempts bumps BackendDown once (the caller then refuses the client
+// gracefully — a secure client gets a clean close_notify, not a RST).
+func dialBackend(cfg *Config, st *Stats, dial func() (*tcpip.TCB, error)) (*tcpip.TCB, error) {
+	attempts := cfg.BackendAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	delay := cfg.BackendRetryDelay
+	if delay <= 0 {
+		delay = 100 * time.Millisecond
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			st.BackendRetries.Add(1)
+			time.Sleep(delay)
+			delay *= 2
+		}
+		var tcb *tcpip.TCB
+		if tcb, err = dial(); err == nil {
+			return tcb, nil
+		}
+	}
+	st.BackendDown.Add(1)
+	return nil, err
 }
 
 // --- Unix flavor ----------------------------------------------------------------
@@ -189,9 +256,11 @@ func (s *UnixServer) handle(id uint64, tcb *tcpip.TCB) {
 		}
 		client = connAndTransport{sc, tcb}
 	}
-	backend, err := s.stack.Connect(s.cfg.Target, s.cfg.TargetPort, 5*time.Second)
+	backend, err := dialBackend(&s.cfg, &s.stats, func() (*tcpip.TCB, error) {
+		return s.stack.Connect(s.cfg.Target, s.cfg.TargetPort, 5*time.Second)
+	})
 	if err != nil {
-		s.cfg.logf("redirector: conn %d: backend unreachable: %v", id, err)
+		s.cfg.logf("redirector: conn %d: backend unreachable, refusing client: %v", id, err)
 		s.stats.Refused.Add(1)
 		client.Close()
 		return
@@ -225,6 +294,11 @@ func (c connAndTransport) Close() error {
 	c.Conn.Close()
 	return c.tcb.Close()
 }
+
+// CloseWrite propagates EOF through the secure layer only: the peer's
+// issl Read returns io.EOF after the close_notify, while our read side
+// (and the TCP beneath) stays open for the response.
+func (c connAndTransport) CloseWrite() error { return c.Conn.CloseWrite() }
 
 // --- Embedded flavor -----------------------------------------------------------
 
@@ -339,9 +413,11 @@ func (s *EmbeddedServer) serveSlot(slot int, sock *dcsock.TCPSocket) {
 		}
 		client = connAndDC{sc, sock}
 	}
-	backend, err := s.env.Stack().Connect(s.cfg.Target, s.cfg.TargetPort, 5*time.Second)
+	backend, err := dialBackend(&s.cfg, &s.stats, func() (*tcpip.TCB, error) {
+		return s.env.Stack().Connect(s.cfg.Target, s.cfg.TargetPort, 5*time.Second)
+	})
 	if err != nil {
-		s.cfg.logf("redirector: slot %d: backend unreachable: %v", slot, err)
+		s.cfg.logf("redirector: slot %d: backend unreachable, refusing client: %v", slot, err)
 		s.stats.Refused.Add(1)
 		client.Close()
 		return
@@ -382,6 +458,13 @@ func (d dcTransport) Close() error {
 	return nil
 }
 
+// CloseWrite maps to sock_close, which (like the TCB beneath it) sends
+// FIN but keeps draining received data.
+func (d dcTransport) CloseWrite() error {
+	d.s.SockClose()
+	return nil
+}
+
 // connAndDC closes both the secure layer and the DC socket under it.
 type connAndDC struct {
 	*issl.Conn
@@ -393,3 +476,6 @@ func (c connAndDC) Close() error {
 	c.sock.SockClose()
 	return nil
 }
+
+// CloseWrite half-closes the secure layer (see connAndTransport).
+func (c connAndDC) CloseWrite() error { return c.Conn.CloseWrite() }

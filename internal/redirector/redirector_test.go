@@ -339,10 +339,11 @@ func TestUnixConfigValidation(t *testing.T) {
 
 func TestBackendUnreachableCountsRefused(t *testing.T) {
 	cli, mid, _ := world(t)
-	// No backend started.
+	// No backend started. One attempt: retry behavior has its own test,
+	// and each attempt against a silent address costs a full SYN timeout.
 	srv, err := NewUnixServer(mid, Config{
 		ListenPort: 8080, Target: tcpip.IP4(10, 0, 0, 3), TargetPort: backendPort,
-		Secure: false,
+		Secure: false, BackendAttempts: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -361,5 +362,207 @@ func TestBackendUnreachableCountsRefused(t *testing.T) {
 	}
 	if srv.Stats().Refused.Load() != 1 {
 		t.Errorf("refused = %d, want 1", srv.Stats().Refused.Load())
+	}
+	if srv.Stats().BackendDown.Load() != 1 {
+		t.Errorf("backend down = %d, want 1", srv.Stats().BackendDown.Load())
+	}
+}
+
+// TestBackendReconnectWithBackoff brings the backend up only after the
+// redirector's first connect attempt has failed: the retry loop must
+// land the client on the late-arriving backend instead of refusing.
+func TestBackendReconnectWithBackoff(t *testing.T) {
+	hub := netsim.NewHub()
+	t.Cleanup(hub.Close)
+	mk := func(last byte) *tcpip.Stack {
+		s, err := tcpip.NewStack(hub, tcpip.IP4(10, 0, 0, last))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		return s
+	}
+	cli, mid := mk(1), mk(2)
+	backAddr := tcpip.IP4(10, 0, 0, 3)
+
+	srv, err := NewUnixServer(mid, Config{
+		ListenPort: 8080, Target: backAddr, TargetPort: backendPort,
+		Secure: false, BackendAttempts: 4, BackendRetryDelay: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	// The backend stack does not exist yet; bring it up after the first
+	// attempt has had time to fail (SYNs into the void time out at 5s —
+	// so start it while attempt 1 is still in flight; the connect's own
+	// retransmissions then reach the fresh stack).
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		back := mk(3)
+		startEchoBackend(t, back)
+	}()
+
+	tcb, err := cli.Connect(mid.Addr(), 8080, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcb.Write([]byte("late backend"))
+	buf := make([]byte, 64)
+	n, err := tcb.ReadDeadline(buf, time.Now().Add(15*time.Second))
+	if err != nil {
+		t.Fatalf("read through redirector: %v", err)
+	}
+	if string(buf[:n]) != "late backend" {
+		t.Errorf("got %q", buf[:n])
+	}
+	if srv.Stats().Accepted.Load() != 1 {
+		t.Errorf("accepted = %d, want 1", srv.Stats().Accepted.Load())
+	}
+	if srv.Stats().BackendDown.Load() != 0 {
+		t.Errorf("backend down = %d, want 0", srv.Stats().BackendDown.Load())
+	}
+}
+
+// TestHalfClosePassThrough checks shutdown(SHUT_WR) propagation: the
+// client sends its whole request and FINs, and the response must still
+// come back through the redirector over the half-open connection.
+func TestHalfClosePassThrough(t *testing.T) {
+	cli, mid, back := world(t)
+
+	// A request/response backend: read to EOF, then reply.
+	l, err := back.Listen(backendPort, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := l.Accept(30 * time.Second)
+		if err != nil {
+			return
+		}
+		var req []byte
+		buf := make([]byte, 4096)
+		for {
+			n, err := conn.ReadDeadline(buf, time.Now().Add(30*time.Second))
+			req = append(req, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		conn.Write(append([]byte("reply:"), req...))
+		conn.Close()
+	}()
+
+	srv, err := NewUnixServer(mid, Config{
+		ListenPort: 8080, Target: back.Addr(), TargetPort: backendPort,
+		Secure: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	tcb, err := cli.Connect(mid.Addr(), 8080, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tcb.Write([]byte("request")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tcb.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	// The old pump would have torn down both directions on the client's
+	// EOF and this read would see a dead connection.
+	var resp []byte
+	buf := make([]byte, 64)
+	for {
+		n, err := tcb.ReadDeadline(buf, time.Now().Add(10*time.Second))
+		resp = append(resp, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("response read: %v", err)
+		}
+	}
+	if string(resp) != "reply:request" {
+		t.Errorf("response = %q", resp)
+	}
+	if hc := srv.Stats().HalfCloses.Load(); hc == 0 {
+		t.Error("no half-closes counted; EOF was propagated by full teardown")
+	}
+}
+
+// TestSecureHalfClosePassThrough runs the same request/EOF/response
+// pattern through the issl layer: the client's close_notify must reach
+// the backend as EOF without killing the response path.
+func TestSecureHalfClosePassThrough(t *testing.T) {
+	cli, mid, back := world(t)
+
+	l, err := back.Listen(backendPort, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := l.Accept(30 * time.Second)
+		if err != nil {
+			return
+		}
+		var req []byte
+		buf := make([]byte, 4096)
+		for {
+			n, err := conn.ReadDeadline(buf, time.Now().Add(30*time.Second))
+			req = append(req, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		conn.Write(append([]byte("reply:"), req...))
+		conn.Close()
+	}()
+
+	srv, err := NewUnixServer(mid, Config{
+		ListenPort: 443, Target: back.Addr(), TargetPort: backendPort,
+		Secure: true, ServerKey: rsaKey(t), RandSeed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	tcb, err := cli.Connect(mid.Addr(), 443, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := issl.BindClient(tcb, issl.Config{Profile: issl.ProfileUnix, Rand: prng.NewXorshift(31)})
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	if _, err := sc.Write([]byte("request")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	var resp []byte
+	buf := make([]byte, 64)
+	sc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for {
+		n, err := sc.Read(buf)
+		resp = append(resp, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("response read: %v", err)
+		}
+	}
+	if string(resp) != "reply:request" {
+		t.Errorf("response = %q", resp)
 	}
 }

@@ -72,6 +72,10 @@ func NewStack(hub *netsim.Hub, ip Addr) (*Stack, error) {
 // Addr returns the stack's IP address.
 func (s *Stack) Addr() Addr { return s.ip }
 
+// MAC returns the stack's hardware address on the hub — what a chaos
+// harness hands to netsim.Hub.PartitionPort to unplug this host.
+func (s *Stack) MAC() netsim.MAC { return s.mac }
+
 // Close shuts the stack down, resetting every connection.
 func (s *Stack) Close() {
 	s.closing.Do(func() {

@@ -648,6 +648,13 @@ func (t *TCB) Close() error {
 	return nil
 }
 
+// CloseWrite half-closes the connection — shutdown(SHUT_WR): FIN goes
+// out and further Writes fail, but received data keeps draining until
+// the peer's own FIN. Close already has exactly these semantics (it
+// never discards undelivered receive data), so this is a documented
+// alias for callers that want the intent explicit.
+func (t *TCB) CloseWrite() error { return t.Close() }
+
 // Established reports whether the connection is usable for data.
 func (t *TCB) Established() bool {
 	t.mu.Lock()
