@@ -42,8 +42,10 @@ func BenchmarkE1_CompiledAES(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/block")
-	b.ReportMetric(core.KBPerSecond(float64(cycles)/float64(b.N)), "KB/s@30MHz")
+	record(b, map[string]float64{
+		"simcycles/block": float64(cycles) / float64(b.N),
+		"KB/s@30MHz":      core.KBPerSecond(float64(cycles) / float64(b.N)),
+	})
 }
 
 func BenchmarkE1_AsmAES(b *testing.B) {
@@ -62,8 +64,10 @@ func BenchmarkE1_AsmAES(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/block")
-	b.ReportMetric(core.KBPerSecond(float64(cycles)/float64(b.N)), "KB/s@30MHz")
+	record(b, map[string]float64{
+		"simcycles/block": float64(cycles) / float64(b.N),
+		"KB/s@30MHz":      core.KBPerSecond(float64(cycles) / float64(b.N)),
+	})
 }
 
 func BenchmarkE2_OptSweep(b *testing.B) {
@@ -81,8 +85,10 @@ func BenchmarkE2_OptSweep(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/block")
-			b.ReportMetric(float64(m.CodeSize()), "code-bytes")
+			record(b, map[string]float64{
+				"simcycles/block": float64(cycles) / float64(b.N),
+				"code-bytes":      float64(m.CodeSize()),
+			})
 		})
 	}
 }
@@ -97,9 +103,11 @@ func BenchmarkE3_CodeSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = res
 	}
-	b.ReportMetric(float64(res.AsmSize), "asm-bytes")
-	b.ReportMetric(float64(res.CSizeBase), "c-bytes")
-	b.ReportMetric(res.AsmSmallerBy*100, "asm-smaller-%")
+	record(b, map[string]float64{
+		"asm-bytes":     float64(res.AsmSize),
+		"c-bytes":       float64(res.CSizeBase),
+		"asm-smaller-%": res.AsmSmallerBy * 100,
+	})
 }
 
 func BenchmarkE4_PlainRedirect(b *testing.B) {
@@ -123,7 +131,7 @@ func benchRedirect(b *testing.B, secure bool) {
 		}
 		last = kbps
 	}
-	b.ReportMetric(last, "KB/s")
+	record(b, map[string]float64{"KB/s": last})
 }
 
 // --- E9 (extension): session resumption, the Goldberg et al. mechanism ----
@@ -174,6 +182,7 @@ func benchHandshake(b *testing.B, resumed bool) {
 			b.Fatal("handshake not resumed")
 		}
 	}
+	record(b, nil)
 }
 
 // --- Ablation: per-access cost of xmem vs root data placement -------------
@@ -217,7 +226,7 @@ void main() {
 				total = m.CPU.Cycles
 			}
 			// 50 passes x 128 accesses.
-			b.ReportMetric(float64(total)/(50*128), "simcycles/access")
+			record(b, map[string]float64{"simcycles/access": float64(total) / (50 * 128)})
 		})
 	}
 }

@@ -1,0 +1,117 @@
+package repro
+
+// Machine-readable benchmark output. `go test -bench=. -benchjson
+// FILE` writes one JSON document with every benchmark's iterations,
+// ns/op, and custom metrics (simcycles/block, KB/s, code bytes), so
+// perf runs accumulate as BENCH_<date>.json files that later PRs can
+// diff against. Passing `-benchjson auto` names the file from the
+// current date. The collector rides on the benchmarks' existing
+// record() calls; without the flag it is inert.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+var benchJSON = flag.String("benchjson", "", "write benchmark results as JSON to this file (\"auto\" = BENCH_<date>.json)")
+
+type benchResult struct {
+	Name    string             `json:"name"`
+	N       int                `json:"n"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchReport struct {
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Results   []benchResult `json:"results"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchResults []benchResult
+)
+
+// record mirrors b.ReportMetric into the JSON collector. Every
+// benchmark in this package reports through it; keys iterate in any
+// order because ReportMetric keys are independent.
+func record(b *testing.B, metrics map[string]float64) {
+	for k, v := range metrics {
+		b.ReportMetric(v, k)
+	}
+	if *benchJSON == "" {
+		return
+	}
+	res := benchResult{Name: b.Name(), N: b.N}
+	if b.N > 0 {
+		res.NsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	}
+	if len(metrics) > 0 {
+		res.Metrics = make(map[string]float64, len(metrics))
+		for k, v := range metrics {
+			res.Metrics[k] = v
+		}
+	}
+	benchMu.Lock()
+	benchResults = append(benchResults, res)
+	benchMu.Unlock()
+}
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	code := m.Run()
+	if code == 0 && *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func writeBenchJSON(path string) error {
+	if path == "auto" {
+		path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	}
+	benchMu.Lock()
+	results := append([]benchResult(nil), benchResults...)
+	benchMu.Unlock()
+	// A benchmark runs several times while the harness calibrates b.N;
+	// keep the final (largest-N, then last) run of each name.
+	byName := map[string]benchResult{}
+	var order []string
+	for _, r := range results {
+		prev, ok := byName[r.Name]
+		if !ok {
+			order = append(order, r.Name)
+		}
+		if !ok || r.N >= prev.N {
+			byName[r.Name] = r
+		}
+	}
+	sort.Strings(order)
+	report := benchReport{
+		Date:      time.Now().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, name := range order {
+		report.Results = append(report.Results, byName[name])
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

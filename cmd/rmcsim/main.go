@@ -4,15 +4,30 @@
 //
 // Usage:
 //
-//	rmcsim [-cycles N] [-serial "text"] [-d] prog.bin
+//	rmcsim [-cycles N] [-serial "text"] [-d] [-profile] [-folded FILE] [-top N] prog.bin|prog.asm
+//	rmcsim -e1 [-blocks N] [-profile] [-folded PREFIX]
+//
+// A .asm argument is assembled with rasm first, which gives the
+// profiler a symbol table; a raw .bin profiles as one "(orphan)" span.
+//
+// -e1 runs the paper's §6 experiment — AES-128 in hand assembly vs.
+// compiled C — and, with -profile, attributes the cycles per routine,
+// answering "where did the cycles go" for the C-vs-asm gap. With
+// -folded PREFIX it writes PREFIX-asm.folded and PREFIX-c.folded,
+// both renderable by standard flamegraph tools.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/aesasm"
+	"repro/internal/aesc"
+	"repro/internal/dcc"
 	"repro/internal/netsim"
+	"repro/internal/rabbit"
 	"repro/internal/rasm"
 	"repro/internal/rmc2000"
 )
@@ -21,24 +36,58 @@ func main() {
 	budget := flag.Uint64("cycles", 100_000_000, "cycle budget")
 	serial := flag.String("serial", "", "bytes to queue on serial port A")
 	disasm := flag.Bool("d", false, "print a disassembly listing instead of running")
+	profile := flag.Bool("profile", false, "attribute cycles to rasm symbols; print a flat report")
+	folded := flag.String("folded", "", "write folded call stacks (flamegraph format) to this file")
+	top := flag.Int("top", 0, "limit the flat report to the top N symbols (0 = all)")
+	e1 := flag.Bool("e1", false, "run the E1 AES experiment (C vs. assembly) instead of an image")
+	blocks := flag.Int("blocks", 16, "blocks to encrypt per variant in -e1 mode")
 	flag.Parse()
+
+	if *e1 {
+		if err := runE1(*blocks, *profile, *folded, *top); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rmcsim [-cycles N] [-serial text] prog.bin")
+		fmt.Fprintln(os.Stderr, "usage: rmcsim [-cycles N] [-serial text] [-profile] [-folded FILE] prog.bin|prog.asm")
+		fmt.Fprintln(os.Stderr, "       rmcsim -e1 [-blocks N] [-profile] [-folded PREFIX]")
 		os.Exit(2)
 	}
-	img, err := os.ReadFile(flag.Arg(0))
+	path := flag.Arg(0)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
 	}
+
+	// An assembly source carries its symbol table with it; a raw image
+	// runs (and profiles) without one.
+	origin := uint16(0)
+	img := raw
+	var symbols map[string]uint16
+	if strings.HasSuffix(path, ".asm") || strings.HasSuffix(path, ".s") {
+		prog, err := rasm.Assemble(string(raw))
+		if err != nil {
+			fatal(err)
+		}
+		origin, img, symbols = prog.Origin, prog.Code, prog.Symbols
+	}
+
 	if *disasm {
-		fmt.Print(rasm.Listing(img, 0))
+		fmt.Print(rasm.Listing(img, origin))
 		return
 	}
 	board, err := rmc2000.New(nil, netsim.MAC{})
 	if err != nil {
 		fatal(err)
 	}
-	board.LoadProgram(0, img)
+	board.LoadProgram(origin, img)
+	var prof *rabbit.Profiler
+	if *profile || *folded != "" {
+		prof = rabbit.NewProgramProfiler(origin, img, symbols)
+		prof.Attach(board.CPU)
+	}
 	if *serial != "" {
 		board.Serial[0].HostSend([]byte(*serial)...)
 	}
@@ -50,9 +99,116 @@ func main() {
 	if out := board.Serial[0].HostRecv(); len(out) > 0 {
 		fmt.Printf("serial A output: %q\n", out)
 	}
+	if prof != nil {
+		if err := report(prof, "", *profile, *folded, *top); err != nil {
+			fatal(err)
+		}
+	}
 	if runErr != nil {
 		fatal(runErr)
 	}
+}
+
+// runE1 profiles the §6 C-vs-assembly AES comparison.
+func runE1(blocks int, profile bool, foldedPrefix string, top int) error {
+	var key, block [16]byte
+	for i := range key {
+		key[i] = byte(i)
+		block[i] = byte(i * 17)
+	}
+
+	asm, err := aesasm.Load()
+	if err != nil {
+		return err
+	}
+	var asmProf *rabbit.Profiler
+	if profile || foldedPrefix != "" {
+		asmProf = asm.EnableProfiler()
+	}
+	_, asmCycles, err := asm.EncryptChain(key, block, blocks)
+	if err != nil {
+		return err
+	}
+
+	cc, err := aesc.Build(dcc.Options{})
+	if err != nil {
+		return err
+	}
+	var cProf *rabbit.Profiler
+	if profile || foldedPrefix != "" {
+		cProf = cc.EnableProfiler()
+	}
+	_, cCycles, err := cc.EncryptChain(key, block, blocks)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("E1: AES-128, %d chained blocks\n", blocks)
+	fmt.Printf("  assembly: %d cycles (%.0f cycles/block)\n", asmCycles, float64(asmCycles)/float64(blocks))
+	fmt.Printf("  C:        %d cycles (%.0f cycles/block)\n", cCycles, float64(cCycles)/float64(blocks))
+	fmt.Printf("  ratio:    %.2fx\n", float64(cCycles)/float64(asmCycles))
+
+	foldedFor := func(suffix string) string {
+		if foldedPrefix == "" {
+			return ""
+		}
+		return foldedPrefix + "-" + suffix + ".folded"
+	}
+	fmt.Printf("\n--- assembly profile ---\n")
+	if err := report(asmProf, "", profile, foldedFor("asm"), top); err != nil {
+		return err
+	}
+	fmt.Printf("\n--- C profile ---\n")
+	return report(cProf, "", profile, foldedFor("c"), top)
+}
+
+// report prints the flat table and/or writes the folded-stack file.
+func report(p *rabbit.Profiler, indent string, flat bool, foldedPath string, top int) error {
+	if p == nil {
+		return nil
+	}
+	if flat {
+		if err := writeFlat(p, os.Stdout, top); err != nil {
+			return err
+		}
+	}
+	if foldedPath != "" {
+		f, err := os.Create(foldedPath)
+		if err != nil {
+			return err
+		}
+		if err := p.WriteFolded(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%sfolded stacks written to %s\n", indent, foldedPath)
+	}
+	return nil
+}
+
+// writeFlat renders the flat report, optionally truncated to top rows.
+func writeFlat(p *rabbit.Profiler, w *os.File, top int) error {
+	if top <= 0 {
+		return p.WriteFlat(w)
+	}
+	rows := p.Flat()
+	if top < len(rows) {
+		rows = rows[:top]
+	}
+	total := p.TotalCycles()
+	fmt.Fprintf(w, "%-24s %12s %7s %12s\n", "SYMBOL", "CYCLES", "PCT", "INSTRS")
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.Cycles) / float64(total)
+		}
+		fmt.Fprintf(w, "%-24s %12d %6.2f%% %12d\n", r.Symbol, r.Cycles, pct, r.Instrs)
+	}
+	fmt.Fprintf(w, "%-24s %12d %6.2f%% (top %d of %d)\n", "TOTAL", total, 100.0, top, len(p.Flat()))
+	return nil
 }
 
 func fatal(err error) {

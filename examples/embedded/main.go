@@ -150,5 +150,5 @@ func main() {
 	time.Sleep(100 * time.Millisecond)
 	st := srv.Stats()
 	fmt.Printf("\nembedded redirector stats: %d accepted, %d refused\n",
-		st.Accepted.Load(), st.Refused.Load())
+		st.Accepted.Value(), st.Refused.Value())
 }

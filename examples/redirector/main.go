@@ -127,5 +127,5 @@ func main() {
 	time.Sleep(100 * time.Millisecond) // let handler teardown finish
 	st := srv.Stats()
 	fmt.Printf("\nredirector stats: %d accepted, %d refused, %d B forward, %d B backward\n",
-		st.Accepted.Load(), st.Refused.Load(), st.BytesForward.Load(), st.BytesBackward.Load())
+		st.Accepted.Value(), st.Refused.Value(), st.BytesForward.Value(), st.BytesBackward.Value())
 }

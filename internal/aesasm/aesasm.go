@@ -43,6 +43,15 @@ func Load() (*Machine, error) {
 	return m, nil
 }
 
+// EnableProfiler attaches a cycle profiler to the machine's CPU and
+// returns it. The profiler survives the Reset inside EncryptChain
+// (its totals restart with CPU.Cycles), so read reports after the run.
+func (m *Machine) EnableProfiler() *rabbit.Profiler {
+	p := rabbit.NewProgramProfiler(m.prog.Origin, m.prog.Code, m.prog.Symbols)
+	p.Attach(m.cpu)
+	return p
+}
+
 // CodeSize returns the size in bytes of the code section only
 // (tables and buffers excluded) — the paper's E3 metric.
 func (m *Machine) CodeSize() int {

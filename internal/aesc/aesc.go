@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/dcc"
+	"repro/internal/rabbit"
 )
 
 //go:embed aes128.dc
@@ -34,6 +35,10 @@ type Machine struct {
 
 // CodeSize returns the compiled code size in bytes (data excluded).
 func (a *Machine) CodeSize() int { return a.comp.CodeSize() }
+
+// EnableProfiler attaches a cycle profiler to the underlying machine
+// and returns it. Attach before EncryptChain; read reports after.
+func (a *Machine) EnableProfiler() *rabbit.Profiler { return a.m.EnableProfiler() }
 
 // Asm returns the generated assembly listing.
 func (a *Machine) Asm() string { return a.comp.Asm }

@@ -1,0 +1,190 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/issl"
+	"repro/internal/netsim"
+	"repro/internal/tcpip"
+	"repro/internal/telemetry"
+)
+
+// TestUnifiedTimeline is the acceptance check for the telemetry layer:
+// one Registry and one Trace wired through every layer of the vertical
+// — hub fault pipeline, both TCP stacks, and both issl endpoints — so
+// a secure handshake over a lossy wire leaves a single JSONL timeline
+// carrying netsim fault events, TCP retransmits, and issl handshake
+// phases on one sim-time axis.
+func TestUnifiedTimeline(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	trace := telemetry.NewTrace(8192)
+
+	hub := netsim.NewHub()
+	defer hub.Close()
+	hub.SetTelemetry(reg, trace)
+
+	mk := func(last byte) *tcpip.Stack {
+		s, err := tcpip.NewStackWithTelemetry(hub, tcpip.IP4(10, 0, 0, last), reg, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		return s
+	}
+	cli, srvStack := mk(1), mk(2)
+
+	// A lossy-enough wire that retransmission is a certainty over the
+	// run, but recoverable within the dial policy.
+	if err := hub.SetFaultPlan(&netsim.FaultPlan{
+		Seed:        0x7E1E,
+		LossGoodPct: 12,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Echo server: accept one connection, bind issl over it with the
+	// shared telemetry, echo everything.
+	psk := []byte(soakPSK)
+	lst, err := srvStack.Listen(echoPort, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lst.Close()
+	go func() {
+		for {
+			tcb, err := lst.Accept(5 * time.Second)
+			if err != nil {
+				return
+			}
+			go func(tcb *tcpip.TCB) {
+				conn, err := issl.BindServer(tcb, issl.Config{
+					Profile: issl.ProfileEmbedded,
+					PSK:     psk,
+					Rand:    prng.NewXorshift(2001),
+					Metrics: reg,
+					Trace:   trace,
+				})
+				if err != nil {
+					tcb.Abort()
+					return
+				}
+				io.Copy(conn, conn)
+				conn.Close()
+				tcb.Close()
+			}(tcb)
+		}
+	}()
+
+	d := &issl.Dialer{
+		Dial: func() (io.ReadWriteCloser, error) {
+			return cli.Connect(srvStack.Addr(), echoPort, 2*time.Second)
+		},
+		Config: issl.Config{
+			Profile:          issl.ProfileEmbedded,
+			PSK:              psk,
+			Rand:             prng.NewXorshift(1001),
+			HandshakeTimeout: 5 * time.Second,
+			Metrics:          reg,
+			Trace:            trace,
+		},
+		Policy: issl.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   100 * time.Millisecond,
+			MaxDelay:    time.Second,
+		},
+	}
+	conn, _, err := d.DialWithRetry()
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+
+	// Echo chunks until the timeline holds all three layers (the loss
+	// plan makes a retransmit a near-certainty in the first few KB).
+	chunk := make([]byte, 512)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for !hasLayers(trace) {
+		if time.Now().After(deadline) {
+			break
+		}
+		if err := echoChunk(conn, chunk, 10*time.Second); err != nil {
+			t.Fatalf("echo: %v", err)
+		}
+	}
+	conn.Close()
+
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every line is a standalone JSON object with a numeric t, and the
+	// stamps are nondecreasing — one time axis for the whole vertical.
+	var lastT float64
+	seen := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		tv, ok := obj["t"].(float64)
+		if !ok {
+			t.Fatalf("line %d: missing numeric t: %s", i+1, line)
+		}
+		if tv < lastT {
+			t.Fatalf("line %d: time went backwards (%v < %v)", i+1, tv, lastT)
+		}
+		lastT = tv
+		layer, _ := obj["layer"].(string)
+		name, _ := obj["name"].(string)
+		switch {
+		case layer == "netsim" && strings.HasPrefix(name, "fault."):
+			seen["fault"] = true
+		case layer == "tcp" && name == "retransmit":
+			seen["retransmit"] = true
+		case layer == "issl" && name == "hs.phase":
+			seen["hs.phase"] = true
+		}
+	}
+	for _, want := range []string{"fault", "retransmit", "hs.phase"} {
+		if !seen[want] {
+			t.Errorf("timeline missing %s events", want)
+		}
+	}
+
+	// The shared registry saw every layer too.
+	if reg.Counter("issl.handshakes_full").Value() == 0 {
+		t.Error("issl.handshakes_full = 0")
+	}
+	if reg.Counter("tcp.segs_sent").Value() == 0 {
+		t.Error("tcp.segs_sent = 0")
+	}
+	if sent, _ := hub.Stats(); sent == 0 {
+		t.Error("netsim frames_sent = 0")
+	}
+}
+
+// hasLayers reports whether the trace already holds a netsim fault
+// event, a TCP retransmit, and an issl handshake phase.
+func hasLayers(tr *telemetry.Trace) bool {
+	var fault, rexmit, phase bool
+	for _, ev := range tr.Events() {
+		switch {
+		case ev.Layer == "netsim" && strings.HasPrefix(ev.Name, "fault."):
+			fault = true
+		case ev.Layer == "tcp" && ev.Name == "retransmit":
+			rexmit = true
+		case ev.Layer == "issl" && ev.Name == "hs.phase":
+			phase = true
+		}
+	}
+	return fault && rexmit && phase
+}

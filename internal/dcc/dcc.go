@@ -74,6 +74,15 @@ func (b xpcBus) Out(port uint16, v uint8) {
 	}
 }
 
+// EnableProfiler attaches a cycle profiler for the compiled program to
+// the machine's CPU and returns it. The profiler survives CPU.Reset
+// (its totals restart with CPU.Cycles), so it can be read after a run.
+func (m *Machine) EnableProfiler() *rabbit.Profiler {
+	p := rabbit.NewProgramProfiler(m.comp.Program.Origin, m.comp.Program.Code, m.comp.Program.Symbols)
+	p.Attach(m.CPU)
+	return p
+}
+
 // NewMachine loads the compiled image at address 0.
 func NewMachine(comp *Compilation) *Machine {
 	cpu := rabbit.New()

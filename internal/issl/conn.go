@@ -52,10 +52,14 @@ type Conn struct {
 	// Stats observable by benchmarks and tests.
 	bytesIn, bytesOut     uint64
 	recordsIn, recordsOut uint64
+
+	// metrics mirrors the stats onto Config.Metrics (nil-safe handles;
+	// see telemetry.go).
+	metrics connMetrics
 }
 
 func newConn(tr io.ReadWriter, cfg Config) *Conn {
-	return &Conn{tr: tr, cfg: cfg, rng: cfg.Rand}
+	return &Conn{tr: tr, cfg: cfg, rng: cfg.Rand, metrics: newConnMetrics(cfg.Metrics)}
 }
 
 // Profile returns the negotiated profile.
@@ -102,6 +106,8 @@ func (c *Conn) failAndAlert(cause error) error {
 	err := c.fail(ae)
 	if err == ae { // first failure: we own sending the alert
 		c.trySendAlert(ae.Code)
+		c.metrics.alertsSent.Inc()
+		c.cfg.Trace.Emit("issl", "alert.sent", "code", ae.Code.String())
 		c.cfg.logf("issl: fatal: sent alert %s (%v)", ae.Code, cause)
 	}
 	return err
@@ -159,6 +165,8 @@ func (c *Conn) Write(p []byte) (int, error) {
 		written += n
 		c.bytesOut += uint64(n)
 		c.recordsOut++
+		c.metrics.bytesOut.Add(uint64(n))
+		c.metrics.recordsOut.Inc()
 	}
 	return written, nil
 }
@@ -195,6 +203,8 @@ func (c *Conn) Read(p []byte) (int, error) {
 			c.rbuf = append(c.rbuf, pt...)
 			c.bytesIn += uint64(len(pt))
 			c.recordsIn++
+			c.metrics.bytesIn.Add(uint64(len(pt)))
+			c.metrics.recordsIn.Inc()
 		case recClose:
 			pt, err := c.openRecord(recClose, body)
 			if err != nil {
@@ -202,6 +212,8 @@ func (c *Conn) Read(p []byte) (int, error) {
 			}
 			if len(pt) >= 1 && AlertCode(pt[0]) != AlertCloseNotify {
 				ae := &AlertError{Code: AlertCode(pt[0]), Remote: true}
+				c.metrics.alertsRecv.Inc()
+				c.cfg.Trace.Emit("issl", "alert.recv", "code", ae.Code.String())
 				c.cfg.logf("issl: peer sent fatal alert %s", ae.Code)
 				return 0, c.fail(ae)
 			}

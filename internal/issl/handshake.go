@@ -71,6 +71,7 @@ func bitsByte(bits int) byte { return byte(bits / 8) }
 
 func (c *Conn) clientHandshake() error {
 	cfg := &c.cfg
+	hsStart := cfg.Trace.Now()
 	c.rng.Fill(c.hs.clientRandom[:])
 
 	hello := []byte{msgClientHello, byte(cfg.Profile), bitsByte(cfg.KeyBits), bitsByte(cfg.BlockBits)}
@@ -111,6 +112,7 @@ func (c *Conn) clientHandshake() error {
 		copy(c.sessionID[:], rest[:sidLen])
 		rest = rest[sidLen:]
 	}
+	phaseStart := c.emitPhase("client", "hello", resumedFlag, hsStart)
 	if resumedFlag {
 		if cfg.Resume == nil || c.sessionID != cfg.Resume.ID {
 			return fmt.Errorf("%w: server resumed a session we did not offer", ErrHandshake)
@@ -125,7 +127,11 @@ func (c *Conn) clientHandshake() error {
 		if err := c.sendFinished("client finished"); err != nil {
 			return err
 		}
-		return c.recvFinished("server finished")
+		if err := c.recvFinished("server finished"); err != nil {
+			return err
+		}
+		c.emitPhase("client", "finished", true, phaseStart)
+		return nil
 	}
 
 	var keyExchange []byte
@@ -150,6 +156,7 @@ func (c *Conn) clientHandshake() error {
 	if err := c.sendHandshake(keyExchange); err != nil {
 		return fmt.Errorf("%w: sending KeyExchange: %v", ErrHandshake, err)
 	}
+	phaseStart = c.emitPhase("client", "key_exchange", false, phaseStart)
 
 	if err := c.deriveKeys(true); err != nil {
 		return err
@@ -158,13 +165,18 @@ func (c *Conn) clientHandshake() error {
 	if err := c.sendFinished("client finished"); err != nil {
 		return err
 	}
-	return c.recvFinished("server finished")
+	if err := c.recvFinished("server finished"); err != nil {
+		return err
+	}
+	c.emitPhase("client", "finished", false, phaseStart)
+	return nil
 }
 
 // --- server ------------------------------------------------------------------
 
 func (c *Conn) serverHandshake() error {
 	cfg := &c.cfg
+	hsStart := cfg.Trace.Now()
 	ch, err := c.readHandshake(msgClientHello)
 	if err != nil {
 		return err
@@ -215,6 +227,7 @@ func (c *Conn) serverHandshake() error {
 		if err := c.sendHandshake(hello); err != nil {
 			return fmt.Errorf("%w: sending ServerHello: %v", ErrHandshake, err)
 		}
+		phaseStart := c.emitPhase("server", "hello", true, hsStart)
 		c.hs.premaster = cachedMaster
 		if err := c.deriveKeys(false); err != nil {
 			return err
@@ -222,7 +235,11 @@ func (c *Conn) serverHandshake() error {
 		if err := c.recvFinished("client finished"); err != nil {
 			return err
 		}
-		return c.sendFinished("server finished")
+		if err := c.sendFinished("server finished"); err != nil {
+			return err
+		}
+		c.emitPhase("server", "finished", true, phaseStart)
+		return nil
 	}
 	hello = append(hello, 0)
 	if cfg.Cache != nil {
@@ -238,6 +255,7 @@ func (c *Conn) serverHandshake() error {
 	if err := c.sendHandshake(hello); err != nil {
 		return fmt.Errorf("%w: sending ServerHello: %v", ErrHandshake, err)
 	}
+	phaseStart := c.emitPhase("server", "hello", false, hsStart)
 
 	kx, err := c.readHandshake(msgKeyExchange)
 	if err != nil {
@@ -263,6 +281,7 @@ func (c *Conn) serverHandshake() error {
 	case ProfileEmbedded:
 		c.hs.premaster = append([]byte(nil), cfg.PSK...)
 	}
+	phaseStart = c.emitPhase("server", "key_exchange", false, phaseStart)
 
 	if err := c.deriveKeys(false); err != nil {
 		return err
@@ -273,7 +292,11 @@ func (c *Conn) serverHandshake() error {
 	if err := c.recvFinished("client finished"); err != nil {
 		return err
 	}
-	return c.sendFinished("server finished")
+	if err := c.sendFinished("server finished"); err != nil {
+		return err
+	}
+	c.emitPhase("server", "finished", false, phaseStart)
+	return nil
 }
 
 // --- key schedule ---------------------------------------------------------------

@@ -32,6 +32,7 @@ import (
 	"repro/internal/crypto/aes"
 	"repro/internal/crypto/prng"
 	"repro/internal/crypto/rsa"
+	"repro/internal/telemetry"
 )
 
 // Profile selects the library configuration.
@@ -95,6 +96,13 @@ type Config struct {
 	// forever. Honored when the transport supports read deadlines
 	// (tcpip.TCB and net.Conn both do).
 	HandshakeTimeout time.Duration
+	// Metrics receives the connection's counters (handshakes full vs
+	// resumed, alerts sent/received, records and plaintext bytes both
+	// directions). Optional; nil disables.
+	Metrics *telemetry.Registry
+	// Trace receives handshake-phase and alert events ("issl" layer).
+	// Optional; nil disables.
+	Trace *telemetry.Trace
 }
 
 // Errors returned by handshake and record processing.
@@ -191,8 +199,14 @@ func bind(transport io.ReadWriter, cfg Config, server bool) (*Conn, error) {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			err = fmt.Errorf("%w (%v): %w", ErrHandshakeTimeout, cfg.HandshakeTimeout, err)
 		}
+		conn.metrics.handshakesFailed.Inc()
 		cfg.logf("issl: %s handshake failed: %v", role, err)
 		return nil, err
+	}
+	if conn.resumed {
+		conn.metrics.handshakesResumed.Inc()
+	} else {
+		conn.metrics.handshakesFull.Inc()
 	}
 	conn.readDeadline = time.Time{}
 	cfg.logf("issl: %s handshake complete (profile=%s key=%d block=%d resumed=%v)",

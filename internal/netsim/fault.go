@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/crypto/prng"
+	"repro/internal/telemetry"
 )
 
 // FaultPlan scripts the hub's misbehavior. All percentages are 0–100;
@@ -72,7 +73,10 @@ func (p *FaultPlan) validate() error {
 	return nil
 }
 
-// FaultStats counts what the plan did to the traffic.
+// FaultStats is a point-in-time snapshot of the fault counters. The
+// live counts are telemetry-registry counters updated atomically (see
+// Hub.SetTelemetry); this struct is the read API tests and chaos
+// harnesses consume.
 type FaultStats struct {
 	LostGood       uint64 // frames lost in the Good state
 	LostBurst      uint64 // frames lost in the Bad state
@@ -90,7 +94,7 @@ type heldFrame struct {
 }
 
 // faultState is the hub's live fault machinery, guarded by Hub.mu.
-// Counters live on the Hub (faultStats) so they outlive the plan.
+// Counters live on the Hub (metrics) so they outlive the plan.
 type faultState struct {
 	plan FaultPlan
 	rng  *prng.Xorshift
@@ -120,7 +124,7 @@ func (h *Hub) SetFaultPlan(p *FaultPlan) error {
 			if targets := h.targetsLocked(hf.frame, now); len(targets) > 0 {
 				deliveries = append(deliveries, delivery{hf.frame, targets})
 			}
-			h.framesSent++
+			h.metrics.framesSent.Inc()
 		}
 		h.deliverLocked(deliveries)
 	}
@@ -135,10 +139,20 @@ func (h *Hub) SetFaultPlan(p *FaultPlan) error {
 // FaultStats returns a snapshot of the fault counters. They accumulate
 // across plans on the same hub — clearing or replacing a plan keeps
 // the history, so a chaos run can install phases and audit the total.
+// Each field is read atomically; no lock is taken, so it is safe to
+// call mid-run (the fields may not be mutually consistent to the
+// frame, which a cumulative audit does not need).
 func (h *Hub) FaultStats() FaultStats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.faultStats
+	m := &h.metrics
+	return FaultStats{
+		LostGood:       m.lostGood.Value(),
+		LostBurst:      m.lostBurst.Value(),
+		Corrupted:      m.corrupted.Value(),
+		Duplicated:     m.duplicated.Value(),
+		Reordered:      m.reordered.Value(),
+		PartitionDrops: m.partitionDrops.Value(),
+		BadEntries:     m.badEntries.Value(),
+	}
 }
 
 // PartitionPort cuts the port with the given MAC off the wire — frames
@@ -201,7 +215,9 @@ func (h *Hub) partitionedLocked(mac MAC, now time.Time) bool {
 // whether the input frame was lost outright (as opposed to held back).
 // Called with h.mu held; every rng draw happens here, in send order,
 // which is what makes a single-sender fault schedule reproducible.
-func (f *faultState) applyFaults(fr Frame, st *FaultStats) (now, released []Frame, lost bool) {
+// Each applied fault bumps its counter and emits a trace event (tr may
+// be nil).
+func (f *faultState) applyFaults(fr Frame, st *hubMetrics, tr *telemetry.Trace) (now, released []Frame, lost bool) {
 	p := &f.plan
 
 	// Countdowns first: the current send is the event held frames wait on.
@@ -223,7 +239,8 @@ func (f *faultState) applyFaults(fr Frame, st *FaultStats) (now, released []Fram
 		}
 	} else if p.GoodToBadPct > 0 && f.rng.Intn(100) < p.GoodToBadPct {
 		f.bad = true
-		st.BadEntries++
+		st.badEntries.Inc()
+		tr.Emit("netsim", "fault.burst_enter", "src", fr.Src.String())
 	}
 	lossPct := p.LossGoodPct
 	if f.bad {
@@ -231,9 +248,11 @@ func (f *faultState) applyFaults(fr Frame, st *FaultStats) (now, released []Fram
 	}
 	if lossPct > 0 && f.rng.Intn(100) < lossPct {
 		if f.bad {
-			st.LostBurst++
+			st.lostBurst.Inc()
+			tr.Emit("netsim", "fault.loss", "mode", "burst", "src", fr.Src.String(), "len", len(fr.Payload))
 		} else {
-			st.LostGood++
+			st.lostGood.Inc()
+			tr.Emit("netsim", "fault.loss", "mode", "good", "src", fr.Src.String(), "len", len(fr.Payload))
 		}
 		return nil, released, true
 	}
@@ -244,19 +263,22 @@ func (f *faultState) applyFaults(fr Frame, st *FaultStats) (now, released []Fram
 		bit := f.rng.Intn(len(cp) * 8)
 		cp[bit/8] ^= 1 << (bit % 8)
 		fr.Payload = cp
-		st.Corrupted++
+		st.corrupted.Inc()
+		tr.Emit("netsim", "fault.corrupt", "src", fr.Src.String(), "bit", bit)
 	}
 
 	if p.ReorderPct > 0 && f.rng.Intn(100) < p.ReorderPct {
 		f.held = append(f.held, heldFrame{frame: fr, release: 1 + f.rng.Intn(p.ReorderDepth)})
-		st.Reordered++
+		st.reordered.Inc()
+		tr.Emit("netsim", "fault.reorder", "src", fr.Src.String(), "len", len(fr.Payload))
 		return nil, released, false
 	}
 
 	now = append(now, fr)
 	if p.DupPct > 0 && f.rng.Intn(100) < p.DupPct {
 		now = append(now, fr)
-		st.Duplicated++
+		st.duplicated.Inc()
+		tr.Emit("netsim", "fault.dup", "src", fr.Src.String(), "len", len(fr.Payload))
 	}
 	return now, released, false
 }

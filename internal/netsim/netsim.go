@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/crypto/prng"
+	"repro/internal/telemetry"
 )
 
 // MAC is a six-byte hardware address.
@@ -52,17 +53,21 @@ type Hub struct {
 	closed  bool
 
 	fault      *faultState       // nil: clean wire
-	faultStats FaultStats        // cumulative across plans; survives SetFaultPlan(nil)
 	partitions map[MAC]time.Time // MAC -> heal deadline (zero: manual)
 
-	// Stats, observable by tests.
-	framesSent    uint64
-	framesDropped uint64
+	// Telemetry. metrics counters are cumulative across fault plans
+	// (they survive SetFaultPlan(nil)); reg is kept so ports attached
+	// after SetTelemetry land on the same registry.
+	metrics hubMetrics
+	reg     *telemetry.Registry
+	trace   *telemetry.Trace
 }
 
-// NewHub creates a hub with no latency or loss.
+// NewHub creates a hub with no latency or loss. Its counters live on a
+// private registry until SetTelemetry points them somewhere shared.
 func NewHub() *Hub {
-	return &Hub{rng: prng.NewXorshift(1)}
+	reg := telemetry.NewRegistry()
+	return &Hub{rng: prng.NewXorshift(1), metrics: newHubMetrics(reg), reg: reg}
 }
 
 // SetLatency sets one-way frame delivery delay.
@@ -95,9 +100,7 @@ func (h *Hub) SetLoss(pct int, seed uint64) error {
 
 // Stats returns total frames delivered and dropped so far.
 func (h *Hub) Stats() (sent, dropped uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.framesSent, h.framesDropped
+	return h.metrics.framesSent.Value(), h.metrics.framesDropped.Value()
 }
 
 // Close shuts down the hub and all attached ports.
@@ -119,11 +122,12 @@ var ErrPortClosed = errors.New("netsim: port closed")
 
 // Port is one attachment point on the hub — a NIC as seen by a host.
 type Port struct {
-	hub    *Hub
-	mac    MAC
-	rx     chan Frame
-	promi  bool // promiscuous: receives every frame on the wire
-	closed bool // guarded by hub.mu; rx is closed exactly once with it
+	hub     *Hub
+	mac     MAC
+	rx      chan Frame
+	promi   bool // promiscuous: receives every frame on the wire
+	closed  bool // guarded by hub.mu; rx is closed exactly once with it
+	metrics portMetrics
 }
 
 // rxQueueDepth bounds a port's receive queue; frames beyond it are
@@ -142,7 +146,8 @@ func (h *Hub) Attach(mac MAC) (*Port, error) {
 			return nil, fmt.Errorf("netsim: MAC %s already attached", mac)
 		}
 	}
-	p := &Port{hub: h, mac: mac, rx: make(chan Frame, rxQueueDepth)}
+	p := &Port{hub: h, mac: mac, rx: make(chan Frame, rxQueueDepth),
+		metrics: newPortMetrics(h.reg, mac)}
 	h.ports = append(h.ports, p)
 	return p, nil
 }
@@ -182,29 +187,32 @@ func (p *Port) Send(f Frame) error {
 		return ErrPortClosed
 	}
 	now := time.Now()
+	p.metrics.txBytes.Add(uint64(len(f.Payload)))
 	if h.partitionedLocked(p.mac, now) {
-		h.faultStats.PartitionDrops++
-		h.framesDropped++
+		h.metrics.partitionDrops.Inc()
+		h.metrics.framesDropped.Inc()
+		h.trace.Emit("netsim", "fault.partition", "src", p.mac.String(), "len", len(f.Payload))
 		h.mu.Unlock()
 		return nil // the unplugged cable: sender cannot tell
 	}
 	if h.lossPct > 0 && h.rng.Intn(100) < h.lossPct {
-		h.framesDropped++
+		h.metrics.framesDropped.Inc()
+		h.trace.Emit("netsim", "fault.loss", "mode", "uniform", "src", p.mac.String(), "len", len(f.Payload))
 		h.mu.Unlock()
 		return nil // lost on the wire; sender cannot tell
 	}
 	outgoing := []Frame{f}
 	if h.fault != nil {
-		onWire, released, lost := h.fault.applyFaults(f, &h.faultStats)
+		onWire, released, lost := h.fault.applyFaults(f, &h.metrics, h.trace)
 		if lost {
-			h.framesDropped++
+			h.metrics.framesDropped.Inc()
 		}
 		outgoing = append(onWire, released...)
 	}
 	var deliveries []delivery
 	for _, fr := range outgoing {
 		targets := h.targetsLocked(fr, now)
-		h.framesSent++
+		h.metrics.framesSent.Inc()
 		if len(targets) > 0 {
 			deliveries = append(deliveries, delivery{fr, targets})
 		}
@@ -243,7 +251,8 @@ func (h *Hub) targetsLocked(fr Frame, now time.Time) []*Port {
 			continue
 		}
 		if h.partitionedLocked(q.mac, now) {
-			h.faultStats.PartitionDrops++
+			h.metrics.partitionDrops.Inc()
+			h.trace.Emit("netsim", "fault.partition", "dst", q.mac.String(), "len", len(fr.Payload))
 			continue
 		}
 		if fr.Dst == Broadcast || fr.Dst == q.mac || q.promi {
@@ -267,8 +276,11 @@ func (h *Hub) deliverLocked(deliveries []delivery) {
 			cp.Payload = append([]byte(nil), d.frame.Payload...)
 			select {
 			case q.rx <- cp:
+				q.metrics.rxBytes.Add(uint64(len(cp.Payload)))
 			default:
-				h.framesDropped++
+				h.metrics.framesDropped.Inc()
+				q.metrics.rxDrops.Inc()
+				h.trace.Emit("netsim", "rx_overflow", "dst", q.mac.String(), "len", len(cp.Payload))
 			}
 		}
 	}

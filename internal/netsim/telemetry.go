@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// hubMetrics holds the hub's counters, resolved once from a registry so
+// the Send path updates them lock-free (beyond hub.mu, which it holds
+// anyway). All fields are nil-safe telemetry handles.
+type hubMetrics struct {
+	framesSent     *telemetry.Counter
+	framesDropped  *telemetry.Counter
+	lostGood       *telemetry.Counter
+	lostBurst      *telemetry.Counter
+	corrupted      *telemetry.Counter
+	duplicated     *telemetry.Counter
+	reordered      *telemetry.Counter
+	partitionDrops *telemetry.Counter
+	badEntries     *telemetry.Counter
+}
+
+func newHubMetrics(reg *telemetry.Registry) hubMetrics {
+	return hubMetrics{
+		framesSent:     reg.Counter("netsim.frames_sent"),
+		framesDropped:  reg.Counter("netsim.frames_dropped"),
+		lostGood:       reg.Counter("netsim.fault.lost_good"),
+		lostBurst:      reg.Counter("netsim.fault.lost_burst"),
+		corrupted:      reg.Counter("netsim.fault.corrupted"),
+		duplicated:     reg.Counter("netsim.fault.duplicated"),
+		reordered:      reg.Counter("netsim.fault.reordered"),
+		partitionDrops: reg.Counter("netsim.fault.partition_drops"),
+		badEntries:     reg.Counter("netsim.fault.bad_entries"),
+	}
+}
+
+// portMetrics are one port's byte/drop counters, created at Attach.
+type portMetrics struct {
+	txBytes *telemetry.Counter
+	rxBytes *telemetry.Counter
+	rxDrops *telemetry.Counter
+}
+
+func newPortMetrics(reg *telemetry.Registry, mac MAC) portMetrics {
+	prefix := fmt.Sprintf("netsim.port.%s.", mac)
+	return portMetrics{
+		txBytes: reg.Counter(prefix + "tx_bytes"),
+		rxBytes: reg.Counter(prefix + "rx_bytes"),
+		rxDrops: reg.Counter(prefix + "rx_drops"),
+	}
+}
+
+// SetTelemetry points the hub's counters at reg and its fault events at
+// trace. Counters for the hub and for already-attached ports are
+// re-created on the new registry; values accumulated on the previous
+// registry stay there. Call before traffic flows — swapping registries
+// mid-run splits counts across the two. Either argument may be nil
+// (nil registry: counters become no-ops; nil trace: events discarded).
+func (h *Hub) SetTelemetry(reg *telemetry.Registry, trace *telemetry.Trace) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.metrics = newHubMetrics(reg)
+	h.reg = reg
+	h.trace = trace
+	for _, p := range h.ports {
+		p.metrics = newPortMetrics(reg, p.mac)
+	}
+}

@@ -31,6 +31,38 @@ func (NullBus) In(uint16) uint8 { return 0xff }
 // Out implements Bus.
 func (NullBus) Out(uint16, uint8) {}
 
+// FlowKind classifies an instruction's effect on the call stack, for
+// observers that reconstruct caller/callee relationships.
+type FlowKind uint8
+
+// Flow kinds reported in InstrEvent.
+const (
+	FlowNone FlowKind = iota // ordinary instruction (incl. jumps)
+	FlowCall                 // CALL / CALL cc (taken) / RST: pushed a return address
+	FlowRet                  // RET / RET cc (taken) / RETI: popped a return address
+	FlowInt                  // interrupt accepted: hardware pushed PC, jumped to vector
+)
+
+// InstrEvent describes one retired instruction (or interrupt dispatch /
+// halted idle step) for an attached InstrHook.
+type InstrEvent struct {
+	PC     uint16   // address the instruction was fetched from
+	Op     uint8    // first opcode byte (0 for interrupt dispatch)
+	Cycles uint64   // cycles charged for this event
+	Flow   FlowKind // call-stack effect
+	Target uint16   // Flow != FlowNone: the PC after the transfer
+}
+
+// InstrHook observes execution. OnInstr fires after every cycle-charging
+// step — retired instructions, interrupt dispatch, and halted idle — so
+// the sum of event Cycles equals the growth of CPU.Cycles while the
+// hook is attached. OnReset fires from CPU.Reset so observer state
+// (call stacks, accumulated totals) restarts with the CPU.
+type InstrHook interface {
+	OnInstr(ev InstrEvent)
+	OnReset()
+}
+
 // CPU is a Rabbit 2000 processor core.
 type CPU struct {
 	A, F, B, C, D, E, H, L uint8
@@ -57,6 +89,16 @@ type CPU struct {
 	// ioPrefix marks that the current instruction was preceded by the
 	// IOI prefix: its memory operands address internal I/O.
 	ioPrefix bool
+
+	// Hook, when non-nil, observes every executed instruction. The
+	// instruction hot path pays only a nil check when no hook is
+	// attached (guarded by BenchmarkStepNoHookAllocs).
+	Hook InstrHook
+
+	// flow/flowTarget are scratch set by exec for the current
+	// instruction's control transfer; only maintained when Hook != nil.
+	flow       FlowKind
+	flowTarget uint16
 }
 
 // ErrIllegalOpcode reports an unimplemented or invalid instruction.
@@ -68,6 +110,14 @@ func New() *CPU {
 }
 
 // Reset returns the CPU to power-on state (memory untouched).
+//
+// Reset contract: Cycles and Instructions restart from zero, and any
+// attached Hook is notified via OnReset before Reset returns, so
+// observer state derived from the execution history (profiler call
+// stacks, per-symbol totals) is discarded in the same instant the
+// counters it mirrors are. The Hook itself stays attached — machines
+// that Reset between runs (e.g. aesasm.EncryptChain) keep profiling
+// without re-wiring.
 func (c *CPU) Reset() {
 	c.A, c.F, c.B, c.C, c.D, c.E, c.H, c.L = 0, 0, 0, 0, 0, 0, 0, 0
 	c.IX, c.IY = 0, 0
@@ -77,6 +127,10 @@ func (c *CPU) Reset() {
 	c.intPending = false
 	c.Cycles = 0
 	c.Instructions = 0
+	c.flow = FlowNone
+	if c.Hook != nil {
+		c.Hook.OnReset()
+	}
 }
 
 // RaiseInt asserts the external interrupt line.
@@ -372,6 +426,9 @@ func (c *CPU) addHL(hl, v uint16) uint16 {
 
 // Step executes one instruction and returns any decode error.
 func (c *CPU) Step() error {
+	if c.Hook != nil {
+		return c.stepHooked()
+	}
 	if c.intPending && c.IFF && !c.ioPrefix {
 		c.intPending = false
 		c.IFF = false
@@ -388,6 +445,43 @@ func (c *CPU) Step() error {
 	c.Instructions++
 	err := c.exec(op, nil)
 	c.ioPrefix = false
+	return err
+}
+
+// stepHooked is Step with instruction-event emission. Every cycle
+// charge — interrupt dispatch, halted idle, and retired instructions —
+// produces an OnInstr event, so the sum of event Cycles tracks
+// CPU.Cycles exactly.
+func (c *CPU) stepHooked() error {
+	if c.intPending && c.IFF && !c.ioPrefix {
+		c.intPending = false
+		c.IFF = false
+		c.Halted = false
+		from := c.PC
+		c.push16(c.PC)
+		c.PC = c.IntVector
+		c.Cycles += 10
+		c.Hook.OnInstr(InstrEvent{PC: from, Cycles: 10, Flow: FlowInt, Target: c.IntVector})
+	}
+	if c.Halted {
+		c.Cycles += 2
+		c.Hook.OnInstr(InstrEvent{PC: c.PC, Cycles: 2})
+		return nil
+	}
+	pc := c.PC
+	startCycles := c.Cycles
+	c.flow = FlowNone
+	op := c.fetch8()
+	c.Instructions++
+	err := c.exec(op, nil)
+	c.ioPrefix = false
+	c.Hook.OnInstr(InstrEvent{
+		PC:     pc,
+		Op:     op,
+		Cycles: c.Cycles - startCycles,
+		Flow:   c.flow,
+		Target: c.flowTarget,
+	})
 	return err
 }
 

@@ -230,6 +230,9 @@ func (c *CPU) exec(op uint8, ix *uint16) error {
 		if c.cond(y) {
 			c.PC = c.pop16()
 			c.Cycles += 8
+			if c.Hook != nil {
+				c.flow, c.flowTarget = FlowRet, c.PC
+			}
 		} else {
 			c.Cycles += 2
 		}
@@ -242,6 +245,9 @@ func (c *CPU) exec(op uint8, ix *uint16) error {
 			case 0: // RET
 				c.PC = c.pop16()
 				c.Cycles += 8
+				if c.Hook != nil {
+					c.flow, c.flowTarget = FlowRet, c.PC
+				}
 			case 1: // EXX
 				c.B, c.B2 = c.B2, c.B
 				c.C, c.C2 = c.C2, c.C
@@ -305,6 +311,9 @@ func (c *CPU) exec(op uint8, ix *uint16) error {
 			c.push16(c.PC)
 			c.PC = addr
 			c.Cycles += 12
+			if c.Hook != nil {
+				c.flow, c.flowTarget = FlowCall, addr
+			}
 		} else {
 			c.Cycles += 7
 		}
@@ -319,6 +328,9 @@ func (c *CPU) exec(op uint8, ix *uint16) error {
 				c.push16(c.PC)
 				c.PC = addr
 				c.Cycles += 12
+				if c.Hook != nil {
+					c.flow, c.flowTarget = FlowCall, addr
+				}
 			case 1: // DD prefix
 				return c.execPrefixed(&c.IX)
 			case 2: // ED prefix
@@ -334,6 +346,9 @@ func (c *CPU) exec(op uint8, ix *uint16) error {
 		c.push16(c.PC)
 		c.PC = uint16(y * 8)
 		c.Cycles += 8
+		if c.Hook != nil {
+			c.flow, c.flowTarget = FlowCall, c.PC
+		}
 	}
 	return nil
 }
@@ -493,6 +508,9 @@ func (c *CPU) execED() error {
 	case 0x4D: // RETI
 		c.PC = c.pop16()
 		c.Cycles += 12
+		if c.Hook != nil {
+			c.flow, c.flowTarget = FlowRet, c.PC
+		}
 		return nil
 	case 0xA0, 0xA8, 0xB0, 0xB8: // LDI / LDD / LDIR / LDDR
 		step := int32(1)

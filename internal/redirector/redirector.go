@@ -38,6 +38,7 @@ import (
 	"repro/internal/dcsock"
 	"repro/internal/issl"
 	"repro/internal/tcpip"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes a redirector of either flavor.
@@ -67,6 +68,13 @@ type Config struct {
 	Log issl.Logger
 	// RandSeed seeds the deterministic PRNG used for session crypto.
 	RandSeed uint64
+	// Metrics hosts the service counters (see Stats). When nil the
+	// server uses a private registry, so Stats() always reads live
+	// values. The registry is also handed to the issl layer.
+	Metrics *telemetry.Registry
+	// Trace receives per-connection events ("redirector" layer) and is
+	// handed to the issl layer for handshake phases. Optional.
+	Trace *telemetry.Trace
 }
 
 func (c *Config) logf(format string, args ...any) {
@@ -75,15 +83,34 @@ func (c *Config) logf(format string, args ...any) {
 	}
 }
 
-// Stats counts service activity; all fields are atomically updated.
+// Stats exposes the service counters. The fields are handles into the
+// telemetry registry (Config.Metrics, or a private one), updated
+// atomically; read with Value().
 type Stats struct {
-	Accepted       atomic.Uint64 // connections fully established
-	Refused        atomic.Uint64 // handshakes that failed or backend-down refusals
-	BytesForward   atomic.Uint64 // client -> backend plaintext bytes
-	BytesBackward  atomic.Uint64 // backend -> client plaintext bytes
-	BackendRetries atomic.Uint64 // backend connect attempts beyond the first
-	BackendDown    atomic.Uint64 // clients refused because the backend stayed down
-	HalfCloses     atomic.Uint64 // one-directional EOFs propagated via half-close
+	Accepted       *telemetry.Counter // connections fully established
+	Refused        *telemetry.Counter // handshakes that failed or backend-down refusals
+	BytesForward   *telemetry.Counter // client -> backend plaintext bytes
+	BytesBackward  *telemetry.Counter // backend -> client plaintext bytes
+	BackendRetries *telemetry.Counter // backend connect attempts beyond the first
+	BackendDown    *telemetry.Counter // clients refused because the backend stayed down
+	HalfCloses     *telemetry.Counter // one-directional EOFs propagated via half-close
+}
+
+// newStats resolves the counters. A nil registry gets a private one so
+// every handle is live (Stats readers must never see absorbed writes).
+func newStats(reg *telemetry.Registry) Stats {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return Stats{
+		Accepted:       reg.Counter("redirector.accepted"),
+		Refused:        reg.Counter("redirector.refused"),
+		BytesForward:   reg.Counter("redirector.bytes_forward"),
+		BytesBackward:  reg.Counter("redirector.bytes_backward"),
+		BackendRetries: reg.Counter("redirector.backend_retries"),
+		BackendDown:    reg.Counter("redirector.backend_down"),
+		HalfCloses:     reg.Counter("redirector.half_closes"),
+	}
 }
 
 // closeWriter is implemented by every transport the pump handles: a
@@ -97,7 +124,7 @@ type closeWriter interface{ CloseWrite() error }
 func halfClose(dst io.WriteCloser, st *Stats) {
 	if cw, ok := dst.(closeWriter); ok {
 		if cw.CloseWrite() == nil {
-			st.HalfCloses.Add(1)
+			st.HalfCloses.Inc()
 			return
 		}
 	}
@@ -110,15 +137,17 @@ func halfClose(dst io.WriteCloser, st *Stats) {
 // client that finishes its request early still receives the backend's
 // full response. Only an actual error tears a destination down; both
 // ends are fully closed once both directions are done.
-func pump(client io.ReadWriteCloser, backend io.ReadWriteCloser, st *Stats) {
+func pump(client io.ReadWriteCloser, backend io.ReadWriteCloser, st *Stats) (fwd, bwd uint64) {
 	var wg sync.WaitGroup
-	copyDir := func(dst io.ReadWriteCloser, src io.Reader, counter *atomic.Uint64) {
+	var fwdTotal, bwdTotal atomic.Uint64
+	copyDir := func(dst io.ReadWriteCloser, src io.Reader, counter *telemetry.Counter, total *atomic.Uint64) {
 		defer wg.Done()
 		buf := make([]byte, 4096)
 		for {
 			n, err := src.Read(buf)
 			if n > 0 {
 				counter.Add(uint64(n))
+				total.Add(uint64(n))
 				if _, werr := dst.Write(buf[:n]); werr != nil {
 					dst.Close()
 					return
@@ -135,11 +164,12 @@ func pump(client io.ReadWriteCloser, backend io.ReadWriteCloser, st *Stats) {
 		}
 	}
 	wg.Add(2)
-	go copyDir(backend, client, &st.BytesForward)
-	go copyDir(client, backend, &st.BytesBackward)
+	go copyDir(backend, client, st.BytesForward, &fwdTotal)
+	go copyDir(client, backend, st.BytesBackward, &bwdTotal)
 	wg.Wait()
 	client.Close()
 	backend.Close()
+	return fwdTotal.Load(), bwdTotal.Load()
 }
 
 // dialBackend connects to the backend with capped-doubling retries.
@@ -158,7 +188,8 @@ func dialBackend(cfg *Config, st *Stats, dial func() (*tcpip.TCB, error)) (*tcpi
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			st.BackendRetries.Add(1)
+			st.BackendRetries.Inc()
+			cfg.Trace.Emit("redirector", "backend.retry", "try", i+1, "delay_ms", delay.Milliseconds())
 			time.Sleep(delay)
 			delay *= 2
 		}
@@ -167,7 +198,8 @@ func dialBackend(cfg *Config, st *Stats, dial func() (*tcpip.TCB, error)) (*tcpi
 			return tcb, nil
 		}
 	}
-	st.BackendDown.Add(1)
+	st.BackendDown.Inc()
+	cfg.Trace.Emit("redirector", "backend.down", "attempts", attempts)
 	return nil, err
 }
 
@@ -200,7 +232,7 @@ func NewUnixServer(stack *tcpip.Stack, cfg Config) (*UnixServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &UnixServer{cfg: cfg, stack: stack, lst: lst,
+	return &UnixServer{cfg: cfg, stack: stack, lst: lst, stats: newStats(cfg.Metrics),
 		stop: make(chan struct{}), active: map[*tcpip.TCB]struct{}{}}, nil
 }
 
@@ -246,11 +278,14 @@ func (s *UnixServer) handle(id uint64, tcb *tcpip.TCB) {
 			ServerKey: s.cfg.ServerKey,
 			Rand:      prng.NewXorshift(s.cfg.RandSeed ^ id),
 			Log:       s.cfg.Log,
+			Metrics:   s.cfg.Metrics,
+			Trace:     s.cfg.Trace,
 		}
 		sc, err := issl.BindServer(tcb, cfg)
 		if err != nil {
 			s.cfg.logf("redirector: conn %d: handshake failed: %v", id, err)
-			s.stats.Refused.Add(1)
+			s.stats.Refused.Inc()
+			s.cfg.Trace.Emit("redirector", "conn.refused", "conn", id, "reason", "handshake")
 			tcb.Close()
 			return
 		}
@@ -261,12 +296,15 @@ func (s *UnixServer) handle(id uint64, tcb *tcpip.TCB) {
 	})
 	if err != nil {
 		s.cfg.logf("redirector: conn %d: backend unreachable, refusing client: %v", id, err)
-		s.stats.Refused.Add(1)
+		s.stats.Refused.Inc()
+		s.cfg.Trace.Emit("redirector", "conn.refused", "conn", id, "reason", "backend")
 		client.Close()
 		return
 	}
-	s.stats.Accepted.Add(1)
-	pump(client, backend, &s.stats)
+	s.stats.Accepted.Inc()
+	s.cfg.Trace.Emit("redirector", "conn.accept", "conn", id)
+	fwd, bwd := pump(client, backend, &s.stats)
+	s.cfg.Trace.Emit("redirector", "conn.done", "conn", id, "bytes_fwd", fwd, "bytes_bwd", bwd)
 }
 
 // Close stops the accept loop, aborts in-flight connections, and
@@ -318,7 +356,7 @@ func NewEmbeddedServer(env *dcsock.Env, cfg Config) (*EmbeddedServer, error) {
 	if cfg.Slots <= 0 {
 		cfg.Slots = 3 // the paper's maximum: "at most three requests"
 	}
-	return &EmbeddedServer{cfg: cfg, env: env}, nil
+	return &EmbeddedServer{cfg: cfg, env: env, stats: newStats(cfg.Metrics)}, nil
 }
 
 // Stats exposes the live counters.
@@ -403,11 +441,14 @@ func (s *EmbeddedServer) serveSlot(slot int, sock *dcsock.TCPSocket) {
 			PSK:     s.cfg.PSK,
 			Rand:    prng.NewXorshift(s.cfg.RandSeed ^ uint64(slot+1)),
 			Log:     s.cfg.Log,
+			Metrics: s.cfg.Metrics,
+			Trace:   s.cfg.Trace,
 		}
 		sc, err := issl.BindServer(tr, cfg)
 		if err != nil {
 			s.cfg.logf("redirector: slot %d: handshake failed: %v", slot, err)
-			s.stats.Refused.Add(1)
+			s.stats.Refused.Inc()
+			s.cfg.Trace.Emit("redirector", "conn.refused", "slot", slot, "reason", "handshake")
 			tr.Close()
 			return
 		}
@@ -418,12 +459,15 @@ func (s *EmbeddedServer) serveSlot(slot int, sock *dcsock.TCPSocket) {
 	})
 	if err != nil {
 		s.cfg.logf("redirector: slot %d: backend unreachable, refusing client: %v", slot, err)
-		s.stats.Refused.Add(1)
+		s.stats.Refused.Inc()
+		s.cfg.Trace.Emit("redirector", "conn.refused", "slot", slot, "reason", "backend")
 		client.Close()
 		return
 	}
-	s.stats.Accepted.Add(1)
-	pump(client, backend, &s.stats)
+	s.stats.Accepted.Inc()
+	s.cfg.Trace.Emit("redirector", "conn.accept", "slot", slot)
+	fwd, bwd := pump(client, backend, &s.stats)
+	s.cfg.Trace.Emit("redirector", "conn.done", "slot", slot, "bytes_fwd", fwd, "bytes_bwd", bwd)
 }
 
 // Close asks the scheduler loop to wind down.

@@ -117,8 +117,8 @@ func TestUnixSecureRedirect(t *testing.T) {
 	if !bytes.Equal(got, msg) {
 		t.Errorf("echo = %q", got)
 	}
-	if srv.Stats().Accepted.Load() != 1 {
-		t.Errorf("accepted = %d", srv.Stats().Accepted.Load())
+	if srv.Stats().Accepted.Value() != 1 {
+		t.Errorf("accepted = %d", srv.Stats().Accepted.Value())
 	}
 }
 
@@ -201,7 +201,7 @@ func TestUnixManyConcurrentConnections(t *testing.T) {
 			t.Errorf("client %d: %v", i, err)
 		}
 	}
-	if acc := srv.Stats().Accepted.Load(); acc != n {
+	if acc := srv.Stats().Accepted.Value(); acc != n {
 		t.Errorf("accepted = %d, want %d (fork model has no slot limit)", acc, n)
 	}
 }
@@ -357,14 +357,14 @@ func TestBackendUnreachableCountsRefused(t *testing.T) {
 	buf := make([]byte, 8)
 	tcb.ReadDeadline(buf, time.Now().Add(3*time.Second)) // will EOF/reset when backend dial fails
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.Stats().Refused.Load() == 0 && time.Now().Before(deadline) {
+	for srv.Stats().Refused.Value() == 0 && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
-	if srv.Stats().Refused.Load() != 1 {
-		t.Errorf("refused = %d, want 1", srv.Stats().Refused.Load())
+	if srv.Stats().Refused.Value() != 1 {
+		t.Errorf("refused = %d, want 1", srv.Stats().Refused.Value())
 	}
-	if srv.Stats().BackendDown.Load() != 1 {
-		t.Errorf("backend down = %d, want 1", srv.Stats().BackendDown.Load())
+	if srv.Stats().BackendDown.Value() != 1 {
+		t.Errorf("backend down = %d, want 1", srv.Stats().BackendDown.Value())
 	}
 }
 
@@ -418,11 +418,11 @@ func TestBackendReconnectWithBackoff(t *testing.T) {
 	if string(buf[:n]) != "late backend" {
 		t.Errorf("got %q", buf[:n])
 	}
-	if srv.Stats().Accepted.Load() != 1 {
-		t.Errorf("accepted = %d, want 1", srv.Stats().Accepted.Load())
+	if srv.Stats().Accepted.Value() != 1 {
+		t.Errorf("accepted = %d, want 1", srv.Stats().Accepted.Value())
 	}
-	if srv.Stats().BackendDown.Load() != 0 {
-		t.Errorf("backend down = %d, want 0", srv.Stats().BackendDown.Load())
+	if srv.Stats().BackendDown.Value() != 0 {
+		t.Errorf("backend down = %d, want 0", srv.Stats().BackendDown.Value())
 	}
 }
 
@@ -492,7 +492,7 @@ func TestHalfClosePassThrough(t *testing.T) {
 	if string(resp) != "reply:request" {
 		t.Errorf("response = %q", resp)
 	}
-	if hc := srv.Stats().HalfCloses.Load(); hc == 0 {
+	if hc := srv.Stats().HalfCloses.Value(); hc == 0 {
 		t.Error("no half-closes counted; EOF was propagated by full teardown")
 	}
 }

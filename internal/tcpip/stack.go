@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/crypto/prng"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // Stack is one host's TCP/IP instance, bound to a netsim port. It runs
@@ -36,14 +37,47 @@ type Stack struct {
 
 	closed  chan struct{}
 	closing sync.Once
+
+	// Telemetry handles, resolved once at construction (nil-safe), so
+	// the segment paths never race on a registry swap.
+	metrics stackMetrics
+	trace   *telemetry.Trace
+}
+
+// stackMetrics are the stack's TCP counters and RTT histogram.
+type stackMetrics struct {
+	segsSent      *telemetry.Counter
+	segsRcvd      *telemetry.Counter
+	retransmits   *telemetry.Counter
+	checksumDrops *telemetry.Counter
+	rttUs         *telemetry.Histogram
+}
+
+func newStackMetrics(reg *telemetry.Registry) stackMetrics {
+	return stackMetrics{
+		segsSent:      reg.Counter("tcp.segs_sent"),
+		segsRcvd:      reg.Counter("tcp.segs_rcvd"),
+		retransmits:   reg.Counter("tcp.retransmits"),
+		checksumDrops: reg.Counter("tcp.checksum_drops"),
+		rttUs:         reg.Histogram("tcp.rtt_us"),
+	}
 }
 
 // ErrStackClosed is returned by operations on a closed stack.
 var ErrStackClosed = errors.New("tcpip: stack closed")
 
 // NewStack attaches a new host to the hub with the given IP. The MAC
-// is derived from the IP (locally administered).
+// is derived from the IP (locally administered). The stack's telemetry
+// is inert; use NewStackWithTelemetry to observe it.
 func NewStack(hub *netsim.Hub, ip Addr) (*Stack, error) {
+	return NewStackWithTelemetry(hub, ip, nil, nil)
+}
+
+// NewStackWithTelemetry is NewStack with the stack's counters placed on
+// reg and its retransmission/RTT events emitted to trace. Counters are
+// resolved once here, so there is no registry swap to race with; either
+// argument may be nil (nil registry: counters are no-ops).
+func NewStackWithTelemetry(hub *netsim.Hub, ip Addr, reg *telemetry.Registry, trace *telemetry.Trace) (*Stack, error) {
 	mac := netsim.MAC{0x02, 0x00, ip[0], ip[1], ip[2], ip[3]}
 	port, err := hub.Attach(mac)
 	if err != nil {
@@ -63,6 +97,8 @@ func NewStack(hub *netsim.Hub, ip Addr) (*Stack, error) {
 		isn:        prng.NewXorshift(uint64(ip[0])<<24 | uint64(ip[1])<<16 | uint64(ip[2])<<8 | uint64(ip[3]) | 1),
 		pingWait:   map[uint16]chan struct{}{},
 		closed:     make(chan struct{}),
+		metrics:    newStackMetrics(reg),
+		trace:      trace,
 	}
 	go s.recvLoop()
 	go s.timerLoop()

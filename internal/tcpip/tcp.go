@@ -168,6 +168,14 @@ type TCB struct {
 	retries     int
 	timeWaitAt  time.Time
 
+	// RTT sampling, Karn's algorithm: one timed sequence number at a
+	// time, and the pending sample is invalidated on retransmission
+	// (an ACK after a retransmit is ambiguous about which copy it
+	// answers).
+	rttValid bool
+	rttSeq   uint32 // sample completes when sndUna passes this
+	rttAt    time.Time
+
 	// onEstablished fires when SYN_RCVD completes (listener delivery).
 	onEstablished func(*TCB)
 }
@@ -224,6 +232,7 @@ func (t *TCB) send(seg tcpSegment) {
 	seg.dstPort = t.remotePort
 	seg.window = advertisedWnd
 	raw := marshalTCP(t.stack.ip, t.remoteIP, seg)
+	t.stack.metrics.segsSent.Inc()
 	t.stack.mu.Lock()
 	t.stack.sendIP(t.remoteIP, ProtoTCP, raw)
 	t.stack.mu.Unlock()
@@ -265,6 +274,11 @@ func (t *TCB) transmit() {
 		})
 		sent += n
 		t.sndNxt = t.sndUna + uint32(sent)
+		if !t.rttValid {
+			t.rttValid = true
+			t.rttSeq = t.sndNxt
+			t.rttAt = time.Now()
+		}
 		t.armRTO()
 	}
 	if t.sndClosed && !t.finSent && sent == len(t.sndBuf) {
@@ -309,6 +323,12 @@ func (t *TCB) tick(now time.Time) {
 	if t.rto > maxRTO {
 		t.rto = maxRTO
 	}
+	t.rttValid = false // Karn: the next ACK is ambiguous, discard sample
+	t.stack.metrics.retransmits.Inc()
+	t.stack.trace.Emit("tcp", "retransmit",
+		"local", t.localPort, "remote", t.remotePort,
+		"state", t.state.String(), "seq", t.sndUna, "try", t.retries,
+		"rto_ms", t.rto.Milliseconds())
 	// Retransmit from sndUna: SYN, data, or FIN depending on phase.
 	switch t.state {
 	case stateSynSent:
@@ -461,6 +481,14 @@ func (t *TCB) handleSegment(seg tcpSegment) {
 		t.sndUna = seg.ack
 		t.retries = 0
 		t.rto = initialRTO
+		if t.rttValid && seqLEQ(t.rttSeq, seg.ack) {
+			rtt := time.Since(t.rttAt)
+			t.rttValid = false
+			t.stack.metrics.rttUs.Observe(uint64(rtt.Microseconds()))
+			t.stack.trace.Emit("tcp", "rtt_sample",
+				"local", t.localPort, "remote", t.remotePort,
+				"rtt_us", rtt.Microseconds())
+		}
 		if t.sndUna == t.sndNxt {
 			t.rtoArmed = false
 		} else {
@@ -864,12 +892,15 @@ func (s *Stack) ListenOne(port uint16) (*TCB, error) {
 
 func (s *Stack) handleTCP(p ipPacket) {
 	if pseudoChecksum(ProtoTCP, p.src, p.dst, p.payload) != 0 {
+		s.metrics.checksumDrops.Inc()
+		s.trace.Emit("tcp", "checksum_drop", "src", p.src.String(), "len", len(p.payload))
 		return
 	}
 	seg, ok := parseTCP(p.payload)
 	if !ok {
 		return
 	}
+	s.metrics.segsRcvd.Inc()
 	key := tcpKey{p.src, seg.srcPort, seg.dstPort}
 	s.mu.Lock()
 	t, found := s.tcbs[key]
@@ -979,6 +1010,7 @@ func (s *Stack) sendRST(dst Addr, seg tcpSegment) {
 	}
 	rst.ack = seg.seq + adv
 	raw := marshalTCP(s.ip, dst, rst)
+	s.metrics.segsSent.Inc()
 	s.mu.Lock()
 	s.sendIP(dst, ProtoTCP, raw)
 	s.mu.Unlock()

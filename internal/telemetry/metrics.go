@@ -1,0 +1,297 @@
+// Package telemetry is the repo's dependency-free observability layer:
+// a metrics registry (atomic counters, gauges, log2-bucket histograms)
+// and a bounded ring-buffer trace of structured events stamped on one
+// simulated-time axis (see trace.go). Every layer of the reproduction —
+// the netsim wire, the tcpip stack, the issl secure layer, the
+// redirector service, and the Rabbit cycle profiler — reports here, so
+// an experiment can be *explained* (where the cycles, retransmissions
+// and faults went) and not merely run.
+//
+// All metric handles are nil-safe: a nil *Counter (from a nil
+// *Registry) accepts Add calls and reads zero, so instrumented code
+// never branches on whether telemetry is wired up.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter atomically. A nil counter reads zero.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta. Safe on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value reads the gauge atomically. A nil gauge reads zero.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistogramBuckets is the fixed bucket count: bucket 0 holds the value
+// 0 and bucket i (1..64) holds values v with bits.Len64(v) == i, i.e.
+// v in [2^(i-1), 2^i - 1]. Log2 buckets keep Observe allocation-free
+// and O(1) with no configuration, at the price of coarse (power of
+// two) resolution — the right trade for cycle counts and RTTs.
+const HistogramBuckets = 65
+
+// Histogram counts observations in fixed log2 buckets.
+type Histogram struct {
+	buckets [HistogramBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// BucketIndex returns the bucket an observation of v lands in.
+func BucketIndex(v uint64) int { return bits.Len64(v) }
+
+// BucketLow returns the smallest value bucket i holds.
+func BucketLow(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// BucketHigh returns the largest value bucket i holds.
+func BucketHigh(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<i - 1
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[BucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observation (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Buckets returns a snapshot of the bucket counts.
+func (h *Histogram) Buckets() [HistogramBuckets]uint64 {
+	var out [HistogramBuckets]uint64
+	if h == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Registry names and owns metrics. Get-or-create accessors hand out
+// stable pointers, so hot paths resolve a metric once and then update
+// it lock-free. A nil *Registry hands out nil metrics, which absorb
+// updates silently — instrumentation needs no nil checks.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is one metric's point-in-time reading.
+type Snapshot struct {
+	Name string
+	Kind string // "counter", "gauge", "histogram"
+	// Value carries the counter value or gauge value; for histograms
+	// it is the observation count (Sum/Mean carry the rest).
+	Value int64
+	Sum   uint64
+	Mean  float64
+}
+
+// Snapshot returns every metric's reading, sorted by (kind, name), so
+// dumps are deterministic.
+func (r *Registry) Snapshot() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Snapshot, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Snapshot{Name: name, Kind: "counter", Value: int64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Snapshot{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		out = append(out, Snapshot{Name: name, Kind: "histogram",
+			Value: int64(h.Count()), Sum: h.Sum(), Mean: h.Mean()})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteText renders a human-readable metrics dump.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		var err error
+		switch s.Kind {
+		case "histogram":
+			_, err = fmt.Fprintf(w, "%-12s %-40s count=%d sum=%d mean=%.1f\n",
+				s.Kind, s.Name, s.Value, s.Sum, s.Mean)
+		default:
+			_, err = fmt.Fprintf(w, "%-12s %-40s %d\n", s.Kind, s.Name, s.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as one JSON object per line (JSONL),
+// matching the trace sink format so both can share a consumer.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		var err error
+		switch s.Kind {
+		case "histogram":
+			_, err = fmt.Fprintf(w, `{"kind":%s,"name":%s,"count":%d,"sum":%d,"mean":%g}`+"\n",
+				jsonString(s.Kind), jsonString(s.Name), s.Value, s.Sum, s.Mean)
+		default:
+			_, err = fmt.Fprintf(w, `{"kind":%s,"name":%s,"value":%d}`+"\n",
+				jsonString(s.Kind), jsonString(s.Name), s.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	if c != nil {
+		t.Fatalf("nil registry returned non-nil counter")
+	}
+	c.Add(5) // must not panic
+	c.Inc()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", got)
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil gauge Value = %d, want 0", got)
+	}
+	var h *Histogram
+	h.Observe(9)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatalf("nil histogram not zero")
+	}
+	var tr *Trace
+	tr.Emit("l", "n", "k", 1)
+	if tr.Len() != 0 || tr.Now() != 0 || tr.Events() != nil {
+		t.Fatalf("nil trace not inert")
+	}
+}
+
+func TestRegistryStablePointers(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a")
+	c2 := r.Counter("a")
+	if c1 != c2 {
+		t.Fatalf("Counter(a) returned distinct pointers")
+	}
+	c1.Add(2)
+	c2.Inc()
+	if got := r.Counter("a").Value(); got != 3 {
+		t.Fatalf("counter a = %d, want 3", got)
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatalf("Gauge(g) returned distinct pointers")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatalf("Histogram(h) returned distinct pointers")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the log2 bucketing scheme: 0 goes
+// to bucket 0, and each power-of-two boundary starts a new bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{16, 5},
+		{1023, 10}, {1024, 11},
+		{math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.v); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Bucket low/high bounds must tile the uint64 range exactly.
+	if BucketLow(0) != 0 || BucketHigh(0) != 0 {
+		t.Fatalf("bucket 0 bounds = [%d,%d], want [0,0]", BucketLow(0), BucketHigh(0))
+	}
+	for i := 1; i < HistogramBuckets; i++ {
+		if BucketLow(i) != BucketHigh(i-1)+1 {
+			t.Fatalf("bucket %d low %d does not follow bucket %d high %d",
+				i, BucketLow(i), i-1, BucketHigh(i-1))
+		}
+		if BucketIndex(BucketLow(i)) != i || BucketIndex(BucketHigh(i)) != i {
+			t.Fatalf("bucket %d bounds [%d,%d] do not map back to bucket %d",
+				i, BucketLow(i), BucketHigh(i), i)
+		}
+	}
+	if BucketHigh(64) != math.MaxUint64 {
+		t.Fatalf("top bucket high = %d, want MaxUint64", BucketHigh(64))
+	}
+
+	h := &Histogram{}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	b := h.Buckets()
+	if b[0] != 1 || b[2] != 2 || b[3] != 2 || b[64] != 1 {
+		t.Fatalf("bucket counts wrong: %v", b[:5])
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+func TestHistogramSumMean(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []uint64{10, 20, 30} {
+		h.Observe(v)
+	}
+	if h.Sum() != 60 {
+		t.Fatalf("Sum = %d, want 60", h.Sum())
+	}
+	if h.Mean() != 20 {
+		t.Fatalf("Mean = %g, want 20", h.Mean())
+	}
+}
+
+// TestTraceWraparound pins the ring contract: events beyond capacity
+// evict the oldest, Emit never blocks, and Events stays oldest-first.
+func TestTraceWraparound(t *testing.T) {
+	tr := NewTrace(4)
+	tr.SetNow(func() uint64 { return 42 })
+	for i := 0; i < 10; i++ {
+		tr.Emit("test", "ev", "i", i)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Evicted() != 6 {
+		t.Fatalf("Evicted = %d, want 6", tr.Evicted())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(evs))
+	}
+	for j, ev := range evs {
+		want := 6 + j // oldest surviving is i=6
+		if got := ev.Attrs[0].Value.(int); got != want {
+			t.Fatalf("event %d has i=%d, want %d", j, got, want)
+		}
+		if ev.T != 42 {
+			t.Fatalf("event %d T=%d, want 42", j, ev.T)
+		}
+	}
+}
+
+func TestTraceClockMonotoneOrder(t *testing.T) {
+	tr := NewTrace(16)
+	var clk uint64
+	tr.SetNow(func() uint64 { clk += 100; return clk })
+	tr.Emit("a", "first")
+	mid := tr.Now()
+	tr.Emit("a", "second")
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].T >= mid || evs[1].T <= mid {
+		t.Fatalf("timestamps not ordered around Now(): %d, %d, mid %d",
+			evs[0].T, evs[1].T, mid)
+	}
+}
+
+func TestTraceWriteJSONL(t *testing.T) {
+	tr := NewTrace(8)
+	tr.SetNow(func() uint64 { return 7 })
+	tr.Emit("issl", "hs.phase", "phase", "hello", "dur", uint64(123))
+	tr.Emit("tcp", `quote"layer`, "n", 1.5)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q not valid JSON: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	if lines[0]["layer"] != "issl" || lines[0]["phase"] != "hello" || lines[0]["dur"] != float64(123) {
+		t.Fatalf("first line wrong: %v", lines[0])
+	}
+	if lines[1]["name"] != `quote"layer` {
+		t.Fatalf("JSON escaping broken: %v", lines[1])
+	}
+}
+
+func TestTraceWriteText(t *testing.T) {
+	tr := NewTrace(8)
+	tr.SetNow(func() uint64 { return 1500 })
+	tr.Emit("netsim", "fault.loss", "mac", "02:00:0a:00:00:01")
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"netsim", "fault.loss", "mac=02:00:0a:00:00:01", "1.500us"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Inc()
+	r.Gauge("z").Set(-4)
+	r.Histogram("h").Observe(100)
+	snap := r.Snapshot()
+	var got []string
+	for _, s := range snap {
+		got = append(got, s.Kind+"/"+s.Name)
+	}
+	want := []string{"counter/a", "counter/b", "gauge/z", "histogram/h"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("snapshot order = %v, want %v", got, want)
+	}
+	if snap[2].Value != -4 {
+		t.Fatalf("gauge snapshot = %d, want -4", snap[2].Value)
+	}
+
+	var text, jsonl bytes.Buffer
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "counter") {
+		t.Fatalf("text dump missing counters:\n%s", text.String())
+	}
+	sc := bufio.NewScanner(&jsonl)
+	n := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("metrics JSONL line %q: %v", sc.Text(), err)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("metrics JSONL lines = %d, want 4", n)
+	}
+}
+
+func TestTraceConcurrentEmit(t *testing.T) {
+	tr := NewTrace(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tr.Emit("t", "e", "id", id, "j", j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tr.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", tr.Len())
+	}
+	if tr.Evicted() != 8*200-64 {
+		t.Fatalf("Evicted = %d, want %d", tr.Evicted(), 8*200-64)
+	}
+}
