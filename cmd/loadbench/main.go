@@ -1,0 +1,107 @@
+// Command loadbench drives the capacity-testing fleet (internal/
+// loadgen) against the full secure-redirector vertical and emits the
+// SLO report as text plus BENCH_load.json.
+//
+// The acceptance workload — a thousand returning clients at the
+// Goldberg et al. 95% session-cache hit rate:
+//
+//	go run ./cmd/loadbench -seed 1 -clients 1000 -resume 0.95
+//
+// The Virtual section of the output is bit-identical across runs with
+// one seed (see internal/loadgen); -smoke runs a small fixed workload
+// as a CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		seed        = flag.Uint64("seed", 1, "workload seed (drives every random decision)")
+		clients     = flag.Int("clients", 100, "virtual client population")
+		requests    = flag.Int("requests", 2, "requests per client")
+		resume      = flag.Float64("resume", 0.5, "session-resumption probability on reconnect (0..1)")
+		churn       = flag.Int("churn", 1, "reconnect every N requests (0 = one connection per client)")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+		concurrency = flag.Int("concurrency", 32, "closed-loop width / open-loop in-flight cap")
+		payloads    = flag.String("payloads", "64:60,512:30,4096:10", "payload distribution size:weight,...")
+		inflight    = flag.Int("inflight", 0, "redirector admission bound (0 = unbounded)")
+		cache       = flag.Int("cache", 0, "session cache bound (0 = 2x clients)")
+		shards      = flag.Int("shards", 0, "session cache shards (0 = default)")
+		latency     = flag.Duration("latency", 0, "one-way hub latency")
+		faults      = flag.Bool("faults", false, "degrade the wire with the chaos soak fault plan")
+		plain       = flag.Bool("plain", false, "plaintext baseline (no issl layer)")
+		wall        = flag.Bool("wall", false, "also record wall-clock latency percentiles (not replayable)")
+		jsonPath    = flag.String("json", "BENCH_load.json", "report output path (empty = skip)")
+		smoke       = flag.Bool("smoke", false, "small fixed workload for CI (overrides sizing flags)")
+	)
+	flag.Parse()
+
+	dist, err := loadgen.ParsePayloads(*payloads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := loadgen.Config{
+		Seed:          *seed,
+		Clients:       *clients,
+		Requests:      *requests,
+		Resume:        *resume,
+		ChurnEvery:    *churn,
+		Concurrency:   *concurrency,
+		Payloads:      dist,
+		MaxInflight:   *inflight,
+		CacheSessions: *cache,
+		CacheShards:   *shards,
+		HubLatency:    *latency,
+		Plain:         *plain,
+		Wall:          *wall,
+	}
+	if *churn == 0 {
+		cfg.KeepConnections()
+	}
+	if *rate > 0 {
+		cfg.Mode = loadgen.ModeOpen
+		cfg.RatePerSec = *rate
+	}
+	if *faults {
+		cfg.Faults = chaos.SoakPlan(*seed)
+	}
+	if *smoke {
+		cfg.Clients, cfg.Requests, cfg.Resume, cfg.Concurrency = 32, 2, 0.5, 16
+	}
+
+	start := time.Now()
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := rep.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ntotal run time %.1fs\n", time.Since(start).Seconds())
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("report written to %s\n", *jsonPath)
+	}
+}

@@ -28,8 +28,23 @@ import (
 
 	"repro/internal/crypto/prng"
 	"repro/internal/issl"
+	"repro/internal/netsim"
 	"repro/internal/tcpip"
 )
+
+// SoakPlan is the harness's canonical degraded-wire schedule: light
+// steady loss with Gilbert–Elliott bursts, a little bit rot, duplicate
+// frames and bounded reordering — the lab 10Base-T segment on a bad
+// day. The soak tests here and the loadgen capacity soak share it so
+// "under faults" means the same wire everywhere; seed picks the
+// (reproducible) schedule.
+func SoakPlan(seed uint64) *netsim.FaultPlan {
+	return &netsim.FaultPlan{
+		Seed:        seed,
+		LossGoodPct: 1, LossBadPct: 20, GoodToBadPct: 2, BadToGoodPct: 40,
+		CorruptPct: 2, DupPct: 5, ReorderPct: 5, ReorderDepth: 4,
+	}
+}
 
 // EchoServer is a secure echo service over one tcpip.Stack. Its
 // session cache survives Reset; its live connections do not.

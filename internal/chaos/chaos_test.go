@@ -104,11 +104,7 @@ func TestChaosSoak(t *testing.T) {
 	}
 	defer srv.Close()
 
-	if err := hub.SetFaultPlan(&netsim.FaultPlan{
-		Seed:        0xC4A05,
-		LossGoodPct: 1, LossBadPct: 20, GoodToBadPct: 2, BadToGoodPct: 40,
-		CorruptPct: 2, DupPct: 5, ReorderPct: 5, ReorderDepth: 4,
-	}); err != nil {
+	if err := hub.SetFaultPlan(SoakPlan(0xC4A05)); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,0 +1,513 @@
+// Package loadgen is the capacity-testing subsystem: a deterministic
+// virtual-client fleet that drives the full vertical this repo
+// reproduces — netsim wire, tcpip stacks, issl handshake, the
+// redirector service, a plaintext backend — under configurable
+// workloads, and reports achieved throughput and latency percentiles
+// against the modeled expectation.
+//
+// The paper's service went from a workstation prototype to a 30 MHz
+// board by being measured at every step; loadgen is that measurement
+// harness for this reproduction. One run produces two kinds of truth:
+//
+//   - Virtual: the seeded workload plan replayed through a
+//     discrete-event queueing model in virtual time (model.go). Fully
+//     deterministic — two runs with one seed emit identical request
+//     counts, percentile tables and histogram buckets — so it can gate
+//     regressions in CI.
+//   - Measured: the same plan executed against the live stack, with
+//     byte-exact echo verification and the telemetry registry counting
+//     what the server actually did (handshakes granted full vs
+//     resumed, admission refusals, bytes redirected).
+//
+// Workload knobs cover the paper's operating envelope: closed-loop
+// concurrency or open-loop Poisson arrivals, session-resumption mix
+// (the Goldberg et al. cache hit rate), connection churn, and a
+// weighted payload size distribution.
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+	"repro/internal/issl"
+	"repro/internal/netsim"
+	"repro/internal/redirector"
+	"repro/internal/tcpip"
+	"repro/internal/telemetry"
+)
+
+// Mode selects how load is offered.
+type Mode int
+
+const (
+	// ModeClosed runs a fixed-width closed loop: Concurrency clients
+	// are in flight at any instant; each issues its next request the
+	// moment the previous completes.
+	ModeClosed Mode = iota
+	// ModeOpen offers requests on a Poisson schedule at RatePerSec
+	// regardless of completions (per client, a request still waits for
+	// that client's previous one).
+	ModeOpen
+)
+
+func (m Mode) String() string {
+	if m == ModeOpen {
+		return "open"
+	}
+	return "closed"
+}
+
+// Service ports inside the loadgen world.
+const (
+	redirectorPort = 4443
+	backendPort    = 9000
+)
+
+// Config parameterizes a load run. The zero value is unusable; Run
+// fills defaults for everything but Clients.
+type Config struct {
+	// Seed drives every random decision: the workload plan, handshake
+	// nonces, the server key. Same seed, same plan.
+	Seed uint64
+	// Clients is the virtual client population. Required.
+	Clients int
+	// Requests is issued per client (default 2).
+	Requests int
+	// Mode offers load closed- or open-loop.
+	Mode Mode
+	// RatePerSec is the aggregate offered arrival rate (open loop;
+	// default 200).
+	RatePerSec float64
+	// Concurrency caps simultaneously active clients (default 32) —
+	// the closed-loop width, and a safety bound in open loop.
+	Concurrency int
+	// Resume is the probability a reconnecting client offers its
+	// cached session (0, 0.5, 0.95 are the canonical mixes). The first
+	// connection of a client is always a full handshake.
+	Resume float64
+	// ChurnEvery reconnects every N requests (default 1: every request
+	// is a fresh connection, the handshake-bound workload; 0 keeps one
+	// connection per client for all its requests).
+	ChurnEvery int
+	// Payloads is the request size distribution (default
+	// DefaultPayloads).
+	Payloads PayloadDist
+	// MaxInflight passes the redirector's admission bound through
+	// (0 = unbounded).
+	MaxInflight int
+	// CacheSessions bounds the server session cache (default
+	// 2*Clients); CacheShards its shard count (default
+	// issl.DefaultSessionShards).
+	CacheSessions int
+	CacheShards   int
+	// Faults degrades the wire (e.g. chaos.SoakPlan); nil runs clean.
+	Faults *netsim.FaultPlan
+	// HubLatency adds one-way frame delay.
+	HubLatency time.Duration
+	// Plain disables the issl layer: the paper's plaintext baseline.
+	Plain bool
+	// Wall additionally records wall-clock per-request latency into
+	// the measured section (not replayable; off by default).
+	Wall bool
+	// Registry receives all counters and histograms (default: private).
+	Registry *telemetry.Registry
+	// Trace receives redirector/issl events. Optional.
+	Trace *telemetry.Trace
+	// Log receives service logs. Optional.
+	Log issl.Logger
+
+	// churnSet marks ChurnEvery=0 as intentional (see KeepConnections).
+	churnSet bool
+}
+
+func (cfg *Config) withDefaults() (*Config, error) {
+	c := *cfg
+	if c.Clients <= 0 {
+		return nil, fmt.Errorf("loadgen: Clients must be positive")
+	}
+	if c.Requests <= 0 {
+		c.Requests = 2
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 200
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 32
+	}
+	if c.Concurrency > c.Clients {
+		c.Concurrency = c.Clients
+	}
+	if c.Resume < 0 || c.Resume > 1 {
+		return nil, fmt.Errorf("loadgen: Resume must be in [0,1]")
+	}
+	if c.ChurnEvery < 0 {
+		return nil, fmt.Errorf("loadgen: ChurnEvery must be >= 0")
+	}
+	if cfg.ChurnEvery == 0 && !cfg.churnSet {
+		c.ChurnEvery = 1
+	}
+	if len(c.Payloads) == 0 {
+		c.Payloads = DefaultPayloads
+	}
+	if c.CacheSessions <= 0 {
+		c.CacheSessions = 2 * c.Clients
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = issl.DefaultSessionShards
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	return &c, nil
+}
+
+// KeepConnections marks ChurnEvery=0 as intentional: one connection
+// per client, all requests multiplexed over it (by default
+// ChurnEvery=0 is treated as unset and becomes 1).
+func (cfg *Config) KeepConnections() { cfg.churnSet = true }
+
+// Run executes the workload and returns the SLO report.
+func Run(cfg Config) (*Report, error) {
+	c, err := (&cfg).withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	p := buildPlan(c)
+	model := runModel(c, p, c.Registry)
+
+	rep := &Report{
+		Seed:        c.Seed,
+		Clients:     c.Clients,
+		Requests:    c.Requests,
+		Mode:        c.Mode.String(),
+		Concurrency: c.Concurrency,
+		Resume:      c.Resume,
+		ChurnEvery:  c.ChurnEvery,
+		MaxInflight: c.MaxInflight,
+		Secure:      !c.Plain,
+		Faulty:      c.Faults != nil,
+	}
+	if c.Mode == ModeOpen {
+		rep.RatePerSec = c.RatePerSec
+	}
+	rep.Virtual = VirtualReport{
+		DurationNs:        model.durationNs,
+		Requests:          model.requests,
+		HandshakesFull:    p.full,
+		HandshakesResumed: p.resumed,
+		Latency:           percentilesFrom(model.latency),
+		Buckets:           model.latency.Buckets(),
+	}
+	if model.durationNs > 0 {
+		rep.Virtual.RPS = float64(model.requests) / (float64(model.durationNs) / 1e9)
+	}
+
+	measured, err := runReal(c, p)
+	if err != nil {
+		return nil, err
+	}
+	rep.Measured = *measured
+	return rep, nil
+}
+
+// fleetCounters aggregates what the client fleet saw.
+type fleetCounters struct {
+	ok, errs, bytes             atomic.Uint64
+	dialAttempts, dialFailures  atomic.Uint64
+	fullHandshakes, resumptions atomic.Uint64
+}
+
+// runReal executes the plan against the live vertical: hub, three
+// stacks, a plaintext echo backend, the secure redirector with the
+// sharded session cache and admission control, and the client fleet.
+func runReal(cfg *Config, p *plan) (*MeasuredReport, error) {
+	reg := cfg.Registry
+	hub := netsim.NewHub()
+	defer hub.Close()
+	if cfg.HubLatency > 0 {
+		hub.SetLatency(cfg.HubLatency)
+	}
+	if cfg.Faults != nil {
+		if err := hub.SetFaultPlan(cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
+	mk := func(last byte) (*tcpip.Stack, error) {
+		return tcpip.NewStack(hub, tcpip.IP4(10, 0, 0, last))
+	}
+	cli, err := mk(1)
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+	mid, err := mk(2)
+	if err != nil {
+		return nil, err
+	}
+	defer mid.Close()
+	back, err := mk(3)
+	if err != nil {
+		return nil, err
+	}
+	defer back.Close()
+
+	if err := startBackend(back); err != nil {
+		return nil, err
+	}
+
+	rcfg := redirector.Config{
+		ListenPort:   redirectorPort,
+		Target:       back.Addr(),
+		TargetPort:   backendPort,
+		Secure:       !cfg.Plain,
+		MaxInflight:  cfg.MaxInflight,
+		SessionCache: issl.NewSessionCacheSharded(cfg.CacheSessions, cfg.CacheShards),
+		RandSeed:     cfg.Seed ^ 0x5EC0DE5EC0DE,
+		Metrics:      reg,
+		Trace:        cfg.Trace,
+		Log:          cfg.Log,
+	}
+	if !cfg.Plain {
+		key, err := rsa.GenerateKey(prng.NewXorshift(cfg.Seed^0x4B455947454E), 512)
+		if err != nil {
+			return nil, err
+		}
+		rcfg.ServerKey = key
+	}
+	srv, err := redirector.NewUnixServer(mid, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	var (
+		fc       fleetCounters
+		wallHist *telemetry.HDRHistogram
+		wallLog2 *telemetry.Histogram
+	)
+	if cfg.Wall {
+		wallHist = telemetry.NewHDRHistogram()
+		wallLog2 = reg.Histogram("loadgen.latency_wall_ns")
+	}
+	sem := make(chan struct{}, cfg.Concurrency)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for ci := range p.clients {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			runClient(cfg, cli, &p.clients[ci], ci, sem, start, &fc, wallHist, wallLog2)
+		}(ci)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	m := &MeasuredReport{
+		DurationNs:        uint64(wall.Nanoseconds()),
+		Requests:          fc.ok.Load(),
+		Errors:            fc.errs.Load(),
+		BytesEchoed:       fc.bytes.Load(),
+		HandshakesFull:    reg.Counter("issl.handshakes_full").Value(),
+		HandshakesResumed: reg.Counter("issl.handshakes_resumed").Value(),
+		HandshakesFailed:  reg.Counter("issl.handshakes_failed").Value(),
+		Accepted:          reg.Counter("redirector.accepted").Value(),
+		Refused:           reg.Counter("redirector.refused").Value(),
+		AdmissionRefused:  reg.Counter("redirector.refused_admission").Value(),
+		DialAttempts:      fc.dialAttempts.Load(),
+		DialFailures:      fc.dialFailures.Load(),
+	}
+	if wall > 0 {
+		m.RPS = float64(m.Requests) / wall.Seconds()
+	}
+	if wallHist != nil {
+		pct := percentilesFrom(wallHist)
+		m.WallLatency = &pct
+	}
+	return m, nil
+}
+
+// startBackend serves plaintext echo until its stack closes.
+func startBackend(s *tcpip.Stack) error {
+	l, err := s.Listen(backendPort, 16)
+	if err != nil {
+		return err
+	}
+	go func() {
+		for {
+			conn, err := l.Accept(30 * time.Second)
+			if err != nil {
+				return
+			}
+			go func(c *tcpip.TCB) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.ReadDeadline(buf, time.Now().Add(30*time.Second))
+					if n > 0 {
+						if _, werr := c.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return nil
+}
+
+// requestTimeout bounds one echo round trip; generous because a
+// thousand clients time-share one host CPU with RSA in the middle.
+const requestTimeout = 60 * time.Second
+
+// runClient executes one client's planned request sequence.
+func runClient(cfg *Config, stack *tcpip.Stack, cp *clientPlan, ci int,
+	sem chan struct{}, start time.Time, fc *fleetCounters,
+	wallHist *telemetry.HDRHistogram, wallLog2 *telemetry.Histogram) {
+
+	d := &issl.Dialer{
+		Dial: func() (io.ReadWriteCloser, error) {
+			return stack.Connect(tcpip.IP4(10, 0, 0, 2), redirectorPort, 10*time.Second)
+		},
+		Config: issl.Config{
+			Profile:          issl.ProfileUnix,
+			Rand:             prng.NewXorshift(cp.seed),
+			HandshakeTimeout: requestTimeout,
+		},
+		Policy: issl.RetryPolicy{MaxAttempts: 6, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second},
+	}
+
+	var (
+		conn     *issl.Conn
+		tr       io.ReadWriteCloser
+		plainTCB *tcpip.TCB
+	)
+	closeConn := func() {
+		if conn != nil {
+			conn.Close()
+			conn = nil
+		}
+		if tr != nil {
+			tr.Close()
+			tr = nil
+		}
+		if plainTCB != nil {
+			plainTCB.Close()
+			plainTCB = nil
+		}
+	}
+	defer closeConn()
+
+	for ri := range cp.reqs {
+		rp := &cp.reqs[ri]
+
+		// Open loop: hold the planned arrival schedule against the wall
+		// clock (scaled 1:1; virtual ns ≈ wall ns for pacing purposes).
+		if cfg.Mode == ModeOpen {
+			if wait := time.Duration(rp.arrivalNs) - time.Since(start); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+
+		sem <- struct{}{} // closed-loop width / open-loop safety bound
+		reqStart := time.Now()
+		err := func() error {
+			if rp.fresh {
+				closeConn()
+				if cfg.Plain {
+					tcb, err := stack.Connect(tcpip.IP4(10, 0, 0, 2), redirectorPort, 10*time.Second)
+					if err != nil {
+						fc.dialAttempts.Add(1)
+						fc.dialFailures.Add(1)
+						return err
+					}
+					fc.dialAttempts.Add(1)
+					plainTCB = tcb
+				} else {
+					if rp.forget {
+						d.ForgetSession()
+					}
+					before := d.Stats()
+					c, t, err := d.DialWithRetry()
+					after := d.Stats()
+					fc.dialAttempts.Add(after.Attempts - before.Attempts)
+					if err != nil {
+						fc.dialFailures.Add(1)
+						return err
+					}
+					fc.fullHandshakes.Add(after.FullHandshakes - before.FullHandshakes)
+					fc.resumptions.Add(after.Resumptions - before.Resumptions)
+					conn, tr = c, t
+				}
+			}
+			return echoOnce(conn, plainTCB, ci, ri, rp.payload)
+		}()
+		<-sem
+
+		if err != nil {
+			fc.errs.Add(1)
+			closeConn() // a failed request poisons the connection
+			continue
+		}
+		fc.ok.Add(1)
+		fc.bytes.Add(uint64(rp.payload))
+		if wallHist != nil {
+			ns := uint64(time.Since(reqStart).Nanoseconds())
+			wallHist.Observe(ns)
+			wallLog2.Observe(ns)
+		}
+	}
+}
+
+// payloadByte generates the deterministic payload pattern: a function
+// of client, request and offset, so the echo check detects
+// cross-connection mixups, not just corruption.
+func payloadByte(ci, ri, i int) byte {
+	return byte(i*131 + ci*7 + ri*13 + 0x2B)
+}
+
+// echoOnce writes the request payload and verifies the byte-exact
+// echo through redirector and backend.
+func echoOnce(conn *issl.Conn, tcb *tcpip.TCB, ci, ri, size int) error {
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = payloadByte(ci, ri, i)
+	}
+	deadline := time.Now().Add(requestTimeout)
+	var write func([]byte) (int, error)
+	var read func([]byte) (int, error)
+	if conn != nil {
+		conn.SetReadDeadline(deadline)
+		defer conn.SetReadDeadline(time.Time{})
+		write, read = conn.Write, conn.Read
+	} else {
+		write = tcb.Write
+		read = func(b []byte) (int, error) { return tcb.ReadDeadline(b, deadline) }
+	}
+	if _, err := write(payload); err != nil {
+		return err
+	}
+	got := make([]byte, 0, size)
+	buf := make([]byte, 4096)
+	for len(got) < size {
+		n, err := read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			return fmt.Errorf("loadgen: echo read after %d/%d bytes: %w", len(got), size, err)
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		return fmt.Errorf("loadgen: echo mismatch for client %d request %d (%d bytes)", ci, ri, size)
+	}
+	return nil
+}

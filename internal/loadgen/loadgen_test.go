@@ -1,0 +1,184 @@
+package loadgen
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestSmokeClosed runs a small closed-loop fleet end to end and checks
+// the report's internal consistency: every planned request completed,
+// byte-exact, with the handshake mix the plan called for.
+func TestSmokeClosed(t *testing.T) {
+	// One big cache shard: no session can be evicted, so the live
+	// handshake mix must equal the planned mix exactly.
+	rep, err := Run(Config{Seed: 7, Clients: 8, Requests: 2, Resume: 0.5, Concurrency: 4,
+		CacheSessions: 64, CacheShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = 8 * 2
+	if rep.Virtual.Requests != want {
+		t.Errorf("virtual requests = %d, want %d", rep.Virtual.Requests, want)
+	}
+	if rep.Measured.Requests != want || rep.Measured.Errors != 0 {
+		t.Errorf("measured = %d ok / %d errors, want %d / 0",
+			rep.Measured.Requests, rep.Measured.Errors, want)
+	}
+	if rep.Measured.BytesEchoed == 0 {
+		t.Error("no bytes echoed")
+	}
+	// Every connection handshakes: 16 fresh connections planned.
+	if got := rep.Virtual.HandshakesFull + rep.Virtual.HandshakesResumed; got != want {
+		t.Errorf("virtual handshakes = %d, want %d", got, want)
+	}
+	// The live server granted what the plan offered (cache is big
+	// enough that no offer should miss).
+	if rep.Measured.HandshakesFull != rep.Virtual.HandshakesFull ||
+		rep.Measured.HandshakesResumed != rep.Virtual.HandshakesResumed {
+		t.Errorf("measured handshakes full=%d resumed=%d, plan full=%d resumed=%d",
+			rep.Measured.HandshakesFull, rep.Measured.HandshakesResumed,
+			rep.Virtual.HandshakesFull, rep.Virtual.HandshakesResumed)
+	}
+	if rep.Virtual.Latency.P50 == 0 || rep.Virtual.Latency.Max < rep.Virtual.Latency.P50 {
+		t.Errorf("degenerate latency table: %+v", rep.Virtual.Latency)
+	}
+	var txt bytes.Buffer
+	if err := rep.WriteText(&txt); err != nil || txt.Len() == 0 {
+		t.Errorf("WriteText: %v (%d bytes)", err, txt.Len())
+	}
+}
+
+// TestDeterminism is the acceptance contract: two runs with one seed
+// produce an identical Virtual section — request counts, handshake
+// counts, every percentile, every histogram bucket — and identical
+// measured request/error counts.
+func TestDeterminism(t *testing.T) {
+	run := func() *Report {
+		rep, err := Run(Config{Seed: 42, Clients: 12, Requests: 3, Resume: 0.95, Concurrency: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Virtual, b.Virtual) {
+		t.Errorf("virtual sections differ:\n%+v\n%+v", a.Virtual, b.Virtual)
+	}
+	if a.Measured.Requests != b.Measured.Requests || a.Measured.Errors != b.Measured.Errors {
+		t.Errorf("measured counts differ: %d/%d vs %d/%d",
+			a.Measured.Requests, a.Measured.Errors, b.Measured.Requests, b.Measured.Errors)
+	}
+}
+
+// TestPlainBaseline drives the plaintext redirector (no issl layer).
+func TestPlainBaseline(t *testing.T) {
+	rep, err := Run(Config{Seed: 3, Clients: 4, Requests: 2, Plain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Measured.Errors != 0 || rep.Measured.Requests != 8 {
+		t.Errorf("plain run: %d ok / %d errors", rep.Measured.Requests, rep.Measured.Errors)
+	}
+	if rep.Measured.HandshakesFull != 0 {
+		t.Errorf("plaintext run performed %d handshakes", rep.Measured.HandshakesFull)
+	}
+}
+
+// TestOpenLoopPlan checks the open-loop arrival schedule: per-client
+// arrivals strictly increase, and the plan replays exactly.
+func TestOpenLoopPlan(t *testing.T) {
+	cfg, err := (&Config{Seed: 9, Clients: 4, Requests: 8, Mode: ModeOpen, RatePerSec: 1000}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := buildPlan(cfg), buildPlan(cfg)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Error("plan not reproducible")
+	}
+	for c, cp := range p1.clients {
+		var last uint64
+		for r, rp := range cp.reqs {
+			if rp.arrivalNs <= last {
+				t.Fatalf("client %d req %d: arrival %d not after %d", c, r, rp.arrivalNs, last)
+			}
+			last = rp.arrivalNs
+		}
+	}
+}
+
+// TestOpenLoopRun exercises the open-loop path end to end (small, so
+// the wall pacing stays under a second).
+func TestOpenLoopRun(t *testing.T) {
+	rep, err := Run(Config{Seed: 11, Clients: 4, Requests: 2, Mode: ModeOpen, RatePerSec: 500, Resume: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Measured.Errors != 0 || rep.Measured.Requests != 8 {
+		t.Errorf("open-loop run: %d ok / %d errors", rep.Measured.Requests, rep.Measured.Errors)
+	}
+}
+
+// TestModelQueueing pins the model's queueing behavior: with one
+// server, latencies stack; with as many servers as clients, the p50
+// collapses to a single service time.
+func TestModelQueueing(t *testing.T) {
+	mk := func(conc int) *VirtualReport {
+		cfg, err := (&Config{Seed: 5, Clients: 8, Requests: 1, Concurrency: conc}).withDefaults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := buildPlan(cfg)
+		m := runModel(cfg, p, telemetry.NewRegistry())
+		v := &VirtualReport{DurationNs: m.durationNs, Requests: m.requests, Latency: percentilesFrom(m.latency)}
+		return v
+	}
+	serial, parallel := mk(1), mk(8)
+	if serial.DurationNs <= parallel.DurationNs {
+		t.Errorf("serial duration %d not above parallel %d", serial.DurationNs, parallel.DurationNs)
+	}
+	if serial.Latency.Max <= parallel.Latency.Max {
+		t.Errorf("serial max latency %d not above parallel %d", serial.Latency.Max, parallel.Latency.Max)
+	}
+}
+
+func TestParsePayloads(t *testing.T) {
+	d, err := ParsePayloads("64:60,512:30,4096:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 3 || d[0].Size != 64 || d[2].Weight != 10 {
+		t.Errorf("parsed %+v", d)
+	}
+	for _, bad := range []string{"", "64", "x:1", "64:0", "-1:5"} {
+		if _, err := ParsePayloads(bad); err == nil {
+			t.Errorf("ParsePayloads(%q) accepted", bad)
+		}
+	}
+}
+
+// TestResumeMixShapesPlan checks that the resumption knob steers the
+// planned handshake mix: at 0 every reconnect is full, at 0.95 most
+// resume, and the per-client first connection is always full.
+func TestResumeMixShapesPlan(t *testing.T) {
+	mk := func(resume float64) *plan {
+		cfg, err := (&Config{Seed: 1, Clients: 50, Requests: 4, Resume: resume}).withDefaults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buildPlan(cfg)
+	}
+	if p := mk(0); p.resumed != 0 || p.full != 200 {
+		t.Errorf("resume=0: full=%d resumed=%d", p.full, p.resumed)
+	}
+	p := mk(0.95)
+	if p.full < 50 {
+		t.Errorf("resume=0.95: full=%d, below the %d forced first handshakes", p.full, 50)
+	}
+	// 150 reconnects at 95%: expect the overwhelming majority resumed.
+	if p.resumed < 120 {
+		t.Errorf("resume=0.95: only %d resumed of 150 reconnects", p.resumed)
+	}
+}

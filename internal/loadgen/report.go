@@ -1,0 +1,148 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/telemetry"
+)
+
+// Percentiles is an exact-percentile latency summary read out of an
+// HDR histogram (values are bucket upper bounds, within 1/64 relative
+// error; see telemetry.HDRHistogram).
+type Percentiles struct {
+	P50    uint64  `json:"p50_ns"`
+	P90    uint64  `json:"p90_ns"`
+	P95    uint64  `json:"p95_ns"`
+	P99    uint64  `json:"p99_ns"`
+	P999   uint64  `json:"p999_ns"`
+	Max    uint64  `json:"max_ns"`
+	MeanNs float64 `json:"mean_ns"`
+}
+
+func percentilesFrom(h *telemetry.HDRHistogram) Percentiles {
+	return Percentiles{
+		P50:    h.Quantile(0.50),
+		P90:    h.Quantile(0.90),
+		P95:    h.Quantile(0.95),
+		P99:    h.Quantile(0.99),
+		P999:   h.Quantile(0.999),
+		Max:    h.Max(),
+		MeanNs: h.Mean(),
+	}
+}
+
+// VirtualReport is the deterministic section: identical across runs
+// with the same configuration and seed. It is the regression-gate
+// axis — diff it field by field, bucket by bucket.
+type VirtualReport struct {
+	DurationNs        uint64                `json:"duration_ns"`
+	RPS               float64               `json:"rps"`
+	Requests          uint64                `json:"requests"`
+	HandshakesFull    uint64                `json:"handshakes_full"`
+	HandshakesResumed uint64                `json:"handshakes_resumed"`
+	Latency           Percentiles           `json:"latency"`
+	Buckets           []telemetry.HDRBucket `json:"buckets"`
+}
+
+// MeasuredReport is the live section: what the real vertical did,
+// counted by the telemetry registry and the fleet itself. Timing
+// fields here are wall clock and vary run to run; the count fields
+// (requests, errors, byte totals) are stable when the run is fault
+// free.
+type MeasuredReport struct {
+	DurationNs        uint64       `json:"duration_ns"`
+	RPS               float64      `json:"rps"`
+	Requests          uint64       `json:"requests"`
+	Errors            uint64       `json:"errors"`
+	BytesEchoed       uint64       `json:"bytes_echoed"`
+	HandshakesFull    uint64       `json:"handshakes_full"`
+	HandshakesResumed uint64       `json:"handshakes_resumed"`
+	HandshakesFailed  uint64       `json:"handshakes_failed"`
+	Accepted          uint64       `json:"accepted"`
+	Refused           uint64       `json:"refused"`
+	AdmissionRefused  uint64       `json:"admission_refused"`
+	DialAttempts      uint64       `json:"dial_attempts"`
+	DialFailures      uint64       `json:"dial_failures"`
+	WallLatency       *Percentiles `json:"wall_latency,omitempty"`
+}
+
+// Report is the SLO report: configuration echo, the deterministic
+// virtual section, and the measured section.
+type Report struct {
+	Seed        uint64  `json:"seed"`
+	Clients     int     `json:"clients"`
+	Requests    int     `json:"requests_per_client"`
+	Mode        string  `json:"mode"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	Concurrency int     `json:"concurrency"`
+	Resume      float64 `json:"resume"`
+	ChurnEvery  int     `json:"churn_every"`
+	MaxInflight int     `json:"max_inflight"`
+	Secure      bool    `json:"secure"`
+	Faulty      bool    `json:"faulty"`
+
+	Virtual  VirtualReport  `json:"virtual"`
+	Measured MeasuredReport `json:"measured"`
+}
+
+// WriteJSON writes the full report (BENCH_load.json).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText writes the human SLO report.
+func (r *Report) WriteText(w io.Writer) error {
+	mode := r.Mode
+	if r.Mode == "open" {
+		mode = fmt.Sprintf("open @ %.0f req/s offered", r.RatePerSec)
+	}
+	sec := "secure (issl Unix profile)"
+	if !r.Secure {
+		sec = "plaintext baseline"
+	}
+	fmt.Fprintf(w, "loadbench: seed=%d  %d clients x %d requests  %s  %s\n",
+		r.Seed, r.Clients, r.Requests, mode, sec)
+	fmt.Fprintf(w, "           resume=%.0f%%  churn-every=%d  concurrency=%d  max-inflight=%d  faults=%v\n\n",
+		r.Resume*100, r.ChurnEvery, r.Concurrency, r.MaxInflight, r.Faulty)
+
+	v := &r.Virtual
+	fmt.Fprintf(w, "virtual (deterministic, replayable):\n")
+	fmt.Fprintf(w, "  duration       %12.3f s\n", float64(v.DurationNs)/1e9)
+	fmt.Fprintf(w, "  throughput     %12.1f req/s\n", v.RPS)
+	fmt.Fprintf(w, "  requests       %12d\n", v.Requests)
+	hsRate := func(n uint64) float64 {
+		if v.DurationNs == 0 {
+			return 0
+		}
+		return float64(n) / (float64(v.DurationNs) / 1e9)
+	}
+	fmt.Fprintf(w, "  handshakes     %12d full (%.1f/s), %d resumed (%.1f/s)\n",
+		v.HandshakesFull, hsRate(v.HandshakesFull), v.HandshakesResumed, hsRate(v.HandshakesResumed))
+	writePct(w, "  latency", v.Latency)
+
+	m := &r.Measured
+	fmt.Fprintf(w, "\nmeasured (live vertical, wall clock):\n")
+	fmt.Fprintf(w, "  duration       %12.3f s\n", float64(m.DurationNs)/1e9)
+	fmt.Fprintf(w, "  throughput     %12.1f req/s\n", m.RPS)
+	fmt.Fprintf(w, "  requests       %12d ok, %d errors\n", m.Requests, m.Errors)
+	fmt.Fprintf(w, "  bytes echoed   %12d\n", m.BytesEchoed)
+	fmt.Fprintf(w, "  handshakes     %12d full, %d resumed, %d failed\n",
+		m.HandshakesFull, m.HandshakesResumed, m.HandshakesFailed)
+	fmt.Fprintf(w, "  server         %12d accepted, %d refused (%d admission)\n",
+		m.Accepted, m.Refused, m.AdmissionRefused)
+	fmt.Fprintf(w, "  dials          %12d attempts, %d failures\n", m.DialAttempts, m.DialFailures)
+	if m.WallLatency != nil {
+		writePct(w, "  wall latency", *m.WallLatency)
+	}
+	return nil
+}
+
+func writePct(w io.Writer, label string, p Percentiles) {
+	ms := func(ns uint64) float64 { return float64(ns) / 1e6 }
+	fmt.Fprintf(w, "%s   p50 %.3fms  p90 %.3fms  p95 %.3fms  p99 %.3fms  p999 %.3fms  max %.3fms  mean %.3fms\n",
+		label, ms(p.P50), ms(p.P90), ms(p.P95), ms(p.P99), ms(p.P999), ms(p.Max), p.MeanNs/1e6)
+}

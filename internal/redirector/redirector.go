@@ -57,6 +57,17 @@ type Config struct {
 	// Slots caps simultaneous connections (Embedded flavor; default 3,
 	// the paper's number).
 	Slots int
+	// MaxInflight caps simultaneous connections on the Unix flavor
+	// (admission control): past the bound, new connections are refused
+	// immediately — counted in Refused and AdmissionRefused — instead of
+	// growing the handler-goroutine population without limit. 0 keeps
+	// the original unbounded fork-model behavior.
+	MaxInflight int
+	// SessionCache enables server-side session resumption (Goldberg et
+	// al. session-key caching): returning clients that offer a cached
+	// session get the abbreviated handshake. Optional; nil disables
+	// resumption, the pre-caching behavior.
+	SessionCache *issl.SessionCache
 	// BackendAttempts caps backend connect attempts per client
 	// connection (default 3). A backend that restarts — or sits behind
 	// a flaky hub — gets a second chance before the client is refused.
@@ -87,13 +98,15 @@ func (c *Config) logf(format string, args ...any) {
 // telemetry registry (Config.Metrics, or a private one), updated
 // atomically; read with Value().
 type Stats struct {
-	Accepted       *telemetry.Counter // connections fully established
-	Refused        *telemetry.Counter // handshakes that failed or backend-down refusals
-	BytesForward   *telemetry.Counter // client -> backend plaintext bytes
-	BytesBackward  *telemetry.Counter // backend -> client plaintext bytes
-	BackendRetries *telemetry.Counter // backend connect attempts beyond the first
-	BackendDown    *telemetry.Counter // clients refused because the backend stayed down
-	HalfCloses     *telemetry.Counter // one-directional EOFs propagated via half-close
+	Accepted         *telemetry.Counter // connections fully established
+	Refused          *telemetry.Counter // all refusals: handshake, backend-down, admission
+	AdmissionRefused *telemetry.Counter // refusals from the MaxInflight admission bound
+	Inflight         *telemetry.Gauge   // connections currently being handled
+	BytesForward     *telemetry.Counter // client -> backend plaintext bytes
+	BytesBackward    *telemetry.Counter // backend -> client plaintext bytes
+	BackendRetries   *telemetry.Counter // backend connect attempts beyond the first
+	BackendDown      *telemetry.Counter // clients refused because the backend stayed down
+	HalfCloses       *telemetry.Counter // one-directional EOFs propagated via half-close
 }
 
 // newStats resolves the counters. A nil registry gets a private one so
@@ -103,13 +116,15 @@ func newStats(reg *telemetry.Registry) Stats {
 		reg = telemetry.NewRegistry()
 	}
 	return Stats{
-		Accepted:       reg.Counter("redirector.accepted"),
-		Refused:        reg.Counter("redirector.refused"),
-		BytesForward:   reg.Counter("redirector.bytes_forward"),
-		BytesBackward:  reg.Counter("redirector.bytes_backward"),
-		BackendRetries: reg.Counter("redirector.backend_retries"),
-		BackendDown:    reg.Counter("redirector.backend_down"),
-		HalfCloses:     reg.Counter("redirector.half_closes"),
+		Accepted:         reg.Counter("redirector.accepted"),
+		Refused:          reg.Counter("redirector.refused"),
+		AdmissionRefused: reg.Counter("redirector.refused_admission"),
+		Inflight:         reg.Gauge("redirector.inflight"),
+		BytesForward:     reg.Counter("redirector.bytes_forward"),
+		BytesBackward:    reg.Counter("redirector.bytes_backward"),
+		BackendRetries:   reg.Counter("redirector.backend_retries"),
+		BackendDown:      reg.Counter("redirector.backend_down"),
+		HalfCloses:       reg.Counter("redirector.half_closes"),
 	}
 }
 
@@ -254,6 +269,21 @@ func (s *UnixServer) Serve() {
 			}
 		}
 		seq++
+		// Admission control: the fork model's unbounded handler growth is
+		// the first thing a capacity test breaks. Past MaxInflight the
+		// connection is refused with a clean FIN (not a RST), so the
+		// client sees a graceful refusal it can back off from. Admission
+		// is decided only on this accept goroutine, so the bound is never
+		// overshot; a racing handler exit can at worst refuse one
+		// connection that would just have fit.
+		if max := s.cfg.MaxInflight; max > 0 && s.stats.Inflight.Value() >= int64(max) {
+			s.stats.Refused.Inc()
+			s.stats.AdmissionRefused.Inc()
+			s.cfg.Trace.Emit("redirector", "conn.refused", "conn", seq, "reason", "admission")
+			conn.Close()
+			continue
+		}
+		s.stats.Inflight.Add(1)
 		s.mu.Lock()
 		s.active[conn] = struct{}{}
 		s.mu.Unlock()
@@ -264,6 +294,7 @@ func (s *UnixServer) Serve() {
 				s.mu.Lock()
 				delete(s.active, tcb)
 				s.mu.Unlock()
+				s.stats.Inflight.Add(-1)
 			}()
 			s.handle(id, tcb)
 		}(seq, conn)
@@ -278,6 +309,7 @@ func (s *UnixServer) handle(id uint64, tcb *tcpip.TCB) {
 			ServerKey: s.cfg.ServerKey,
 			Rand:      prng.NewXorshift(s.cfg.RandSeed ^ id),
 			Log:       s.cfg.Log,
+			Cache:     s.cfg.SessionCache,
 			Metrics:   s.cfg.Metrics,
 			Trace:     s.cfg.Trace,
 		}
@@ -342,10 +374,14 @@ func (c connAndTransport) CloseWrite() error { return c.Conn.CloseWrite() }
 
 // EmbeddedServer is the ported service with the Fig. 3 structure.
 type EmbeddedServer struct {
-	cfg   Config
-	env   *dcsock.Env
-	stats Stats
-	stop  atomic.Bool
+	cfg     Config
+	env     *dcsock.Env
+	stats   Stats
+	stop    atomic.Bool
+	started atomic.Bool
+	runDone chan struct{}
+	wg      sync.WaitGroup // in-flight serveSlot helper goroutines
+	connSeq atomic.Uint64  // per-connection PRNG diversifier
 }
 
 // NewEmbeddedServer prepares the service over a Dynamic C environment.
@@ -356,7 +392,8 @@ func NewEmbeddedServer(env *dcsock.Env, cfg Config) (*EmbeddedServer, error) {
 	if cfg.Slots <= 0 {
 		cfg.Slots = 3 // the paper's maximum: "at most three requests"
 	}
-	return &EmbeddedServer{cfg: cfg, env: env, stats: newStats(cfg.Metrics)}, nil
+	return &EmbeddedServer{cfg: cfg, env: env, stats: newStats(cfg.Metrics),
+		runDone: make(chan struct{})}, nil
 }
 
 // Stats exposes the live counters.
@@ -374,6 +411,8 @@ func (s *EmbeddedServer) Stats() *Stats { return &s.stats }
 // bound by tcp_listen, so connection Slots+1 is refused while all
 // slots are busy.
 func (s *EmbeddedServer) Run() {
+	s.started.Store(true)
+	defer close(s.runDone)
 	s.env.SockInit()
 	sched := costate.New()
 	for i := 0; i < s.cfg.Slots; i++ {
@@ -412,7 +451,9 @@ func (s *EmbeddedServer) slotBody(co *costate.Co, slot int) {
 			return
 		}
 		done := make(chan struct{})
+		s.wg.Add(1)
 		go func() {
+			defer s.wg.Done()
 			defer close(done)
 			s.serveSlot(slot, &sock)
 		}()
@@ -439,8 +480,12 @@ func (s *EmbeddedServer) serveSlot(slot int, sock *dcsock.TCPSocket) {
 		cfg := issl.Config{
 			Profile: issl.ProfileEmbedded,
 			PSK:     s.cfg.PSK,
-			Rand:    prng.NewXorshift(s.cfg.RandSeed ^ uint64(slot+1)),
+			// Diversify per connection, not just per slot: with a session
+			// cache, a slot re-running the same PRNG would reissue the
+			// same session IDs.
+			Rand:    prng.NewXorshift(s.cfg.RandSeed ^ uint64(slot+1)<<32 ^ s.connSeq.Add(1)),
 			Log:     s.cfg.Log,
+			Cache:   s.cfg.SessionCache,
 			Metrics: s.cfg.Metrics,
 			Trace:   s.cfg.Trace,
 		}
@@ -470,8 +515,18 @@ func (s *EmbeddedServer) serveSlot(slot int, sock *dcsock.TCPSocket) {
 	s.cfg.Trace.Emit("redirector", "conn.done", "slot", slot, "bytes_fwd", fwd, "bytes_bwd", bwd)
 }
 
-// Close asks the scheduler loop to wind down.
-func (s *EmbeddedServer) Close() { s.stop.Store(true) }
+// Close asks the scheduler loop to wind down and waits for it — and
+// for every in-flight serveSlot helper goroutine — to finish, so a
+// soak harness can assert the goroutine count returns to baseline
+// after Close returns. (The old Close only flipped the stop flag;
+// handlers mid-transfer outlived it.)
+func (s *EmbeddedServer) Close() {
+	s.stop.Store(true)
+	if s.started.Load() {
+		<-s.runDone
+	}
+	s.wg.Wait()
+}
 
 // dcTransport adapts a Dynamic C socket to io.ReadWriteCloser for the
 // issl layer and the pump.

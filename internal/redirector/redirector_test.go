@@ -566,3 +566,194 @@ func TestSecureHalfClosePassThrough(t *testing.T) {
 		t.Errorf("response = %q", resp)
 	}
 }
+
+// TestUnixSessionResumption wires a SessionCache into the Unix server:
+// a returning client offering its session must land the abbreviated
+// handshake end to end through the redirector.
+func TestUnixSessionResumption(t *testing.T) {
+	cli, mid, back := world(t)
+	startEchoBackend(t, back)
+	cache := issl.NewSessionCache(16)
+	srv, err := NewUnixServer(mid, Config{
+		ListenPort: 443, Target: back.Addr(), TargetPort: backendPort,
+		Secure: true, ServerKey: rsaKey(t), RandSeed: 11, SessionCache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	dial := func(resume *issl.Session) *issl.Conn {
+		tcb, err := cli.Connect(mid.Addr(), 443, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := issl.BindClient(tcb, issl.Config{
+			Profile: issl.ProfileUnix, Rand: prng.NewXorshift(41), Resume: resume})
+		if err != nil {
+			t.Fatalf("handshake: %v", err)
+		}
+		t.Cleanup(func() { sc.Close(); tcb.Close() })
+		return sc
+	}
+	first := dial(nil)
+	if first.Resumed() {
+		t.Fatal("first handshake resumed")
+	}
+	sess := first.Session()
+	if sess == nil {
+		t.Fatal("server cache wired but no session issued")
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache len = %d", cache.Len())
+	}
+	second := dial(sess)
+	if !second.Resumed() {
+		t.Error("returning client did not get the abbreviated handshake")
+	}
+	second.Write([]byte("resumed through redirector"))
+	buf := make([]byte, 64)
+	second.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var got []byte
+	for len(got) < 26 {
+		n, err := second.Read(buf)
+		if err != nil {
+			t.Fatalf("echo read: %v", err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if string(got) != "resumed through redirector" {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+// TestUnixAdmissionControl fills the server to MaxInflight and checks
+// the next connection is refused gracefully (clean EOF, not a hang),
+// counted in refused_admission, and that capacity freed by a closing
+// connection is reusable.
+func TestUnixAdmissionControl(t *testing.T) {
+	cli, mid, back := world(t)
+	startEchoBackend(t, back)
+	srv, err := NewUnixServer(mid, Config{
+		ListenPort: 8080, Target: back.Addr(), TargetPort: backendPort,
+		Secure: false, MaxInflight: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	// Occupy both admission units with live, verified connections.
+	var held []*tcpip.TCB
+	for i := 0; i < 2; i++ {
+		tcb, err := cli.Connect(mid.Addr(), 8080, 5*time.Second)
+		if err != nil {
+			t.Fatalf("conn %d: %v", i, err)
+		}
+		tcb.Write([]byte{byte(i)})
+		buf := make([]byte, 4)
+		if _, err := tcb.ReadDeadline(buf, time.Now().Add(5*time.Second)); err != nil {
+			t.Fatalf("conn %d echo: %v", i, err)
+		}
+		held = append(held, tcb)
+	}
+	if got := srv.Stats().Inflight.Value(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+
+	// Third connection: TCP-accepted then immediately FIN'd by admission
+	// control; a read sees clean EOF.
+	over, err := cli.Connect(mid.Addr(), 8080, 5*time.Second)
+	if err != nil {
+		t.Fatalf("over-limit connect: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := over.ReadDeadline(buf, time.Now().Add(5*time.Second)); err != io.EOF {
+		t.Errorf("over-limit read err = %v, want EOF", err)
+	}
+	if got := srv.Stats().AdmissionRefused.Value(); got != 1 {
+		t.Errorf("refused_admission = %d, want 1", got)
+	}
+	if got := srv.Stats().Refused.Value(); got != 1 {
+		t.Errorf("refused = %d, want 1", got)
+	}
+
+	// Free one unit; a new client must get through.
+	held[0].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Inflight.Value() >= 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	late, err := cli.Connect(mid.Addr(), 8080, 5*time.Second)
+	if err != nil {
+		t.Fatalf("post-release connect: %v", err)
+	}
+	late.Write([]byte("ok"))
+	if _, err := late.ReadDeadline(buf, time.Now().Add(5*time.Second)); err != nil {
+		t.Errorf("post-release echo: %v", err)
+	}
+}
+
+// TestEmbeddedCloseWaitsForHandlers is the goroutine-accounting fix:
+// Close must not return while serveSlot helper goroutines are still
+// running, so soaks can assert a zero-leak baseline.
+func TestEmbeddedCloseWaitsForHandlers(t *testing.T) {
+	cli, mid, back := world(t)
+	startEchoBackend(t, back)
+	srv, err := NewEmbeddedServer(dcsock.NewEnv(mid), Config{
+		ListenPort: 443, Target: back.Addr(), TargetPort: backendPort,
+		Secure: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runReturned := make(chan struct{})
+	go func() { srv.Run(); close(runReturned) }()
+	time.Sleep(50 * time.Millisecond)
+
+	// Park a connection mid-transfer so a handler goroutine is live.
+	tcb, err := cli.Connect(mid.Addr(), 443, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcb.Write([]byte("hold"))
+	buf := make([]byte, 8)
+	if _, err := tcb.ReadDeadline(buf, time.Now().Add(5*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	closed := make(chan struct{})
+	go func() { srv.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	// Close returning implies the scheduler loop AND all helpers exited.
+	select {
+	case <-runReturned:
+	case <-time.After(2 * time.Second):
+		t.Error("Run still live after Close returned")
+	}
+	// Idempotent.
+	srv.Close()
+}
+
+// TestEmbeddedCloseWithoutRun: Close on a server whose Run was never
+// started must not hang waiting for a scheduler that never existed.
+func TestEmbeddedCloseWithoutRun(t *testing.T) {
+	_, mid, _ := world(t)
+	srv, err := NewEmbeddedServer(dcsock.NewEnv(mid), Config{Secure: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung without Run")
+	}
+}

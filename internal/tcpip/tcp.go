@@ -767,7 +767,12 @@ func (s *Stack) Connect(dst Addr, port uint16, timeout time.Duration) (*TCB, err
 	t.send(tcpSegment{seq: t.iss, flags: flagSYN})
 	t.armRTO()
 	deadline := time.Now().Add(timeout)
-	err := t.waitCond(deadline, func() bool { return t.state == stateEstablished })
+	// CLOSE_WAIT also means the handshake completed: a server that
+	// accepts and immediately closes (e.g. admission refusal) can move
+	// the TCB ESTABLISHED -> CLOSE_WAIT before this goroutine wakes.
+	err := t.waitCond(deadline, func() bool {
+		return t.state == stateEstablished || t.state == stateCloseWait
+	})
 	t.mu.Unlock()
 	if err != nil {
 		t.abort(err)

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+)
+
+// HDRHistogram is a high-dynamic-range latency recorder in the style
+// of Gil Tene's HdrHistogram: values keep their top hdrSubBits
+// significant bits, so every bucket's relative width is at most
+// 1/2^hdrSubBits (~1.6%) across the full uint64 range, and quantiles
+// (p50/p95/p99/p999) read back with that bounded error — unlike the
+// log2 Histogram, whose buckets are a full power of two wide. Memory
+// is a fixed ~30 KB of atomic counters; Observe is lock-free and
+// allocation-free, so the recorder can sit on a load generator's
+// per-request path. All methods are nil-safe, matching the package's
+// other instruments.
+//
+// Determinism: the bucket an observation lands in, and therefore every
+// quantile, depends only on the observed values — two runs that
+// observe the same multiset of values report identical buckets and
+// percentiles, which is what lets a seeded virtual-time load run
+// assert replayability on its latency table.
+type HDRHistogram struct {
+	counts [hdrBucketCount]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	min    atomic.Uint64 // stores ^value so zero means "unset"
+	max    atomic.Uint64
+}
+
+const (
+	// hdrSubBits is the precision: values are quantized to their top
+	// 1+hdrSubBits significant bits.
+	hdrSubBits = 6
+	// hdrSubBuckets is the number of linear sub-buckets per power of two.
+	hdrSubBuckets = 1 << hdrSubBits
+	// hdrBucketCount covers values 0..2^64-1: an exact region for
+	// v < hdrSubBuckets plus 64-hdrSubBits log2 ranges of hdrSubBuckets
+	// linear sub-buckets each.
+	hdrBucketCount = (65 - hdrSubBits) * hdrSubBuckets
+)
+
+// NewHDRHistogram returns an empty recorder.
+func NewHDRHistogram() *HDRHistogram { return &HDRHistogram{} }
+
+// hdrIndex maps a value to its bucket.
+func hdrIndex(v uint64) int {
+	if v < hdrSubBuckets {
+		return int(v) // exact region
+	}
+	top := bits.Len64(v) // >= hdrSubBits+1
+	sub := (v >> (top - 1 - hdrSubBits)) & (hdrSubBuckets - 1)
+	return (top-hdrSubBits)*hdrSubBuckets + int(sub)
+}
+
+// hdrHigh returns the largest value bucket i holds — the conservative
+// (upper-bound) representative quantiles report.
+func hdrHigh(i int) uint64 {
+	if i < hdrSubBuckets {
+		return uint64(i)
+	}
+	top := i/hdrSubBuckets + hdrSubBits
+	sub := uint64(i % hdrSubBuckets)
+	width := top - 1 - hdrSubBits
+	low := uint64(1)<<(top-1) | sub<<width
+	return low + (uint64(1)<<width - 1)
+}
+
+// Observe records one value. Lock-free; safe on a nil receiver.
+func (h *HDRHistogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.counts[hdrIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	// min stores ^value so the zero initial state reads as MaxUint64.
+	for {
+		cur := h.min.Load()
+		if v >= ^cur {
+			break
+		}
+		if h.min.CompareAndSwap(cur, ^v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *HDRHistogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *HDRHistogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *HDRHistogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *HDRHistogram) Min() uint64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return ^h.min.Load()
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *HDRHistogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the upper bound
+// of the bucket where the cumulative count first reaches ceil(q*n),
+// clamped to the observed max so p100 is exact. Empty histograms read
+// zero.
+func (h *HDRHistogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	rank := uint64(q*float64(total) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			v := hdrHigh(i)
+			if m := h.Max(); v > m {
+				v = m
+			}
+			return v
+		}
+	}
+	return h.Max()
+}
+
+// HDRBucket is one non-empty bucket in a snapshot: Count observations
+// whose quantized upper bound is High.
+type HDRBucket struct {
+	High  uint64 `json:"high"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending value order —
+// the replayable shape determinism tests compare, and the compact form
+// reports embed.
+func (h *HDRHistogram) Buckets() []HDRBucket {
+	if h == nil {
+		return nil
+	}
+	var out []HDRBucket
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c > 0 {
+			out = append(out, HDRBucket{High: hdrHigh(i), Count: c})
+		}
+	}
+	return out
+}
+
+// WriteText renders a percentile table (one line per requested
+// quantile) for human consumption.
+func (h *HDRHistogram) WriteText(w io.Writer, unit string, div float64) error {
+	qs := []struct {
+		label string
+		q     float64
+	}{
+		{"p50", 0.50}, {"p90", 0.90}, {"p95", 0.95},
+		{"p99", 0.99}, {"p999", 0.999}, {"max", 1.0},
+	}
+	for _, e := range qs {
+		if _, err := fmt.Fprintf(w, "  %-5s %10.3f %s\n",
+			e.label, float64(h.Quantile(e.q))/div, unit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
