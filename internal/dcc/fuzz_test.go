@@ -1,0 +1,46 @@
+package dcc
+
+// Native fuzz target for the compiler front end. Under plain `go test`
+// it runs seed-only as a regression; CI adds a short -fuzz smoke.
+// Invariants: Compile never panics on any source text — it returns a
+// Compilation or an error — and compilation is deterministic (same
+// source and options, same generated assembly).
+
+import "testing"
+
+func FuzzDCCParse(f *testing.F) {
+	f.Add("int out; void main() { out = 1 + 2 * 3; }")
+	f.Add(`int out;
+void main() {
+    int i;
+    for (i = 0; i < 10; i++) { if (i & 1) out = out + i; }
+}`)
+	f.Add(`char tab[16]; char msg[] = "seed"; int out;
+int f(int x) { return x << 2; }
+void main() { out = f(tab[3]) + msg[0]; }`)
+	f.Add("void main() { /* unterminated")
+	f.Add("int x = ;;; } { (")
+	f.Add("xmem char buf[300]; void main() { buf[0] = 'a'; }")
+	f.Add("void main() { auto int x; }")
+	f.Add("\x00\xff\x7f int \"")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, opt := range []Options{
+			{},
+			{Debug: true},
+			{Unroll: true, RootData: true, Peephole: true},
+		} {
+			comp, err := Compile(src, opt)
+			if err != nil {
+				continue
+			}
+			again, err2 := Compile(src, opt)
+			if err2 != nil {
+				t.Fatalf("nondeterministic verdict under %+v: nil then %v", opt, err2)
+			}
+			if comp.Asm != again.Asm {
+				t.Fatalf("nondeterministic codegen under %+v", opt)
+			}
+		}
+	})
+}

@@ -144,6 +144,98 @@ func TestSessionCacheEviction(t *testing.T) {
 	}
 }
 
+// shardID builds a session ID that lands in the shard selected by the
+// lead byte, distinguished within the shard by tail.
+func shardID(lead, tail byte) [SessionIDLen]byte {
+	var id [SessionIDLen]byte
+	id[0], id[1] = lead, tail
+	return id
+}
+
+// TestSessionCacheShardBoundaryEviction pins the per-shard LRU bound:
+// overflowing one shard evicts that shard's LRU entry even while the
+// global count is far below max, and neighboring shards are untouched.
+func TestSessionCacheShardBoundaryEviction(t *testing.T) {
+	c := NewSessionCacheSharded(8, 4) // 4 shards × 2 sessions each
+	if c.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", c.Shards())
+	}
+
+	// Park one resident in a neighboring shard (lead byte 1 -> shard 1).
+	c.put(shardID(1, 0), []byte("neighbor"))
+
+	// Overflow shard 0: three same-lead IDs into a 2-slot shard.
+	c.put(shardID(0, 1), []byte("s1"))
+	c.put(shardID(0, 2), []byte("s2"))
+	c.put(shardID(0, 3), []byte("s3")) // shard 0 full -> evicts s1
+
+	if got := c.Len(); got != 3 {
+		t.Fatalf("global len = %d, want 3 (bound is per shard, max is 8)", got)
+	}
+	if _, ok := c.get(shardID(0, 1)); ok {
+		t.Error("shard-LRU entry survived overflow despite global len < max")
+	}
+	for _, tail := range []byte{2, 3} {
+		if _, ok := c.get(shardID(0, tail)); !ok {
+			t.Errorf("entry tail=%d lost from overflowed shard", tail)
+		}
+	}
+	if m, ok := c.get(shardID(1, 0)); !ok || string(m) != "neighbor" {
+		t.Error("neighboring shard was disturbed by another shard's eviction")
+	}
+}
+
+// TestSessionCacheTouchOnGetAcrossShardBoundary: a get refreshes LRU
+// position within its shard, so the untouched entry is the one evicted.
+func TestSessionCacheTouchOnGetAcrossShardBoundary(t *testing.T) {
+	c := NewSessionCacheSharded(8, 4)
+	c.put(shardID(4, 1), []byte("old-but-hot")) // shard 0 (4&3)
+	c.put(shardID(4, 2), []byte("cold"))
+	if _, ok := c.get(shardID(4, 1)); !ok { // touch: now MRU
+		t.Fatal("warm get missed")
+	}
+	c.put(shardID(4, 3), []byte("new")) // evicts the cold one
+	if _, ok := c.get(shardID(4, 2)); ok {
+		t.Error("untouched entry survived; touch-on-get not honored at the boundary")
+	}
+	if _, ok := c.get(shardID(4, 1)); !ok {
+		t.Error("touched entry was evicted")
+	}
+}
+
+// TestSessionCacheGlobalBoundUnderUniformLoad: with max divisible by
+// the shard count, uniform inserts settle at exactly max sessions.
+func TestSessionCacheGlobalBoundUnderUniformLoad(t *testing.T) {
+	c := NewSessionCacheSharded(8, 4)
+	for i := 0; i < 40; i++ {
+		c.put(shardID(byte(i), byte(i>>2)), []byte{byte(i)})
+	}
+	if got := c.Len(); got != 8 {
+		t.Fatalf("len after uniform churn = %d, want exactly max (8)", got)
+	}
+}
+
+// TestSessionCacheShardedConstruction pins the documented rounding and
+// clamping: power-of-two rounding, shards <= max, minimums of one.
+func TestSessionCacheShardedConstruction(t *testing.T) {
+	cases := []struct {
+		max, shards, want int
+	}{
+		{8, 3, 2},  // rounded down to a power of two
+		{8, 8, 8},  // exact
+		{4, 64, 4}, // clamped to max
+		{0, 0, 1},  // minimums
+		{1, 16, 1}, // one-session cache is single-shard
+		{10, 4, 4}, // non-divisible max still shards
+	}
+	for _, tc := range cases {
+		if got := NewSessionCacheSharded(tc.max, tc.shards).Shards(); got != tc.want {
+			t.Errorf("NewSessionCacheSharded(%d,%d).Shards() = %d, want %d",
+				tc.max, tc.shards, got, tc.want)
+		}
+	}
+}
+
 // TestE9ResumptionSpeedsUpHandshake measures the Goldberg et al.
 // mechanism the paper cites: resumed handshakes skip the RSA operation
 // and should be dramatically cheaper.

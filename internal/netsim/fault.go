@@ -118,7 +118,7 @@ func (h *Hub) SetFaultPlan(p *FaultPlan) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.fault != nil && len(h.fault.held) > 0 {
-		now := time.Now()
+		now := h.nowLocked()
 		var deliveries []delivery
 		for _, hf := range h.fault.held {
 			if targets := h.targetsLocked(hf.frame, now); len(targets) > 0 {
@@ -173,7 +173,7 @@ func (h *Hub) PartitionPort(mac MAC, heal time.Duration) error {
 	}
 	until := time.Time{} // zero: manual heal only
 	if heal > 0 {
-		until = time.Now().Add(heal)
+		until = h.nowLocked().Add(heal)
 	}
 	if h.partitions == nil {
 		h.partitions = map[MAC]time.Time{}
@@ -193,7 +193,7 @@ func (h *Hub) HealPort(mac MAC) {
 func (h *Hub) Partitioned(mac MAC) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.partitionedLocked(mac, time.Now())
+	return h.partitionedLocked(mac, h.nowLocked())
 }
 
 // partitionedLocked checks (and lazily heals) a partition. h.mu held.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // drain collects every frame currently deliverable on p without blocking
@@ -253,13 +255,21 @@ func TestPartitionDropsBothDirectionsThenHeals(t *testing.T) {
 func TestPartitionHealsOnSchedule(t *testing.T) {
 	h := NewHub()
 	defer h.Close()
+	// Drive the heal schedule with a manual clock: no wall-clock sleep,
+	// no timing flake — the partition heals exactly when we say time
+	// has passed.
+	clk := telemetry.NewManualClock(0)
+	h.SetClock(clk)
 	a, _ := h.Attach(mac(1))
 	b, _ := h.Attach(mac(2))
 	if err := h.PartitionPort(mac(2), 60*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	a.Send(Frame{Dst: mac(2), Payload: []byte("lost")})
-	time.Sleep(80 * time.Millisecond)
+	if !h.Partitioned(mac(2)) {
+		t.Fatal("partition not active before its heal time")
+	}
+	clk.Advance(uint64(80 * time.Millisecond))
 	a.Send(Frame{Dst: mac(2), Payload: []byte("after")})
 	got := drain(b, 50*time.Millisecond)
 	if len(got) != 1 || string(got[0].Payload) != "after" {

@@ -55,6 +55,14 @@ type Hub struct {
 	fault      *faultState       // nil: clean wire
 	partitions map[MAC]time.Time // MAC -> heal deadline (zero: manual)
 
+	// clock is the hub's time axis: partition-heal deadlines are set
+	// and checked against it. Defaults to wall time; SetClock swaps in
+	// a telemetry.ManualClock so heal schedules run deterministically
+	// without wall-clock sleeps. epoch anchors Clock's nanosecond
+	// readings to the time.Time deadlines stored in partitions.
+	clock telemetry.Clock
+	epoch time.Time
+
 	// Telemetry. metrics counters are cumulative across fault plans
 	// (they survive SetFaultPlan(nil)); reg is kept so ports attached
 	// after SetTelemetry land on the same registry.
@@ -67,7 +75,33 @@ type Hub struct {
 // private registry until SetTelemetry points them somewhere shared.
 func NewHub() *Hub {
 	reg := telemetry.NewRegistry()
-	return &Hub{rng: prng.NewXorshift(1), metrics: newHubMetrics(reg), reg: reg}
+	return &Hub{
+		rng:     prng.NewXorshift(1),
+		metrics: newHubMetrics(reg),
+		reg:     reg,
+		clock:   telemetry.NewWallClock(),
+		epoch:   time.Now(),
+	}
+}
+
+// SetClock installs c as the hub's time axis (nil restores wall time).
+// Partition-heal schedules then advance only when c does, which lets
+// tests drive them with a telemetry.ManualClock instead of sleeping.
+// Heal deadlines already set keep their position on the new axis
+// relative to the hub's epoch.
+func (h *Hub) SetClock(c telemetry.Clock) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c == nil {
+		c = telemetry.NewWallClock()
+		h.epoch = time.Now()
+	}
+	h.clock = c
+}
+
+// nowLocked reads the hub's time axis. h.mu held.
+func (h *Hub) nowLocked() time.Time {
+	return h.epoch.Add(time.Duration(h.clock.Now()))
 }
 
 // SetLatency sets one-way frame delivery delay.
@@ -186,7 +220,7 @@ func (p *Port) Send(f Frame) error {
 		h.mu.Unlock()
 		return ErrPortClosed
 	}
-	now := time.Now()
+	now := h.nowLocked()
 	p.metrics.txBytes.Add(uint64(len(f.Payload)))
 	if h.partitionedLocked(p.mac, now) {
 		h.metrics.partitionDrops.Inc()

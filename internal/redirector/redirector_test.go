@@ -50,6 +50,25 @@ func world(t *testing.T) (cli, mid, back *tcpip.Stack) {
 
 const backendPort = 9000
 
+// connectRetry dials until the server's listener is actually up: a SYN
+// arriving before the slot reaches tcp_listen is refused, so a bounded
+// retry loop replaces the old fixed "let slots start" sleep (which was
+// both slower and flaky under load).
+func connectRetry(t *testing.T, cli *tcpip.Stack, addr tcpip.Addr, port uint16) *tcpip.TCB {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		tcb, err := cli.Connect(addr, port, 2*time.Second)
+		if err == nil {
+			return tcb
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("connect to %s:%d never succeeded: %v", addr, port, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // startEchoBackend serves echo connections until the stack closes.
 func startEchoBackend(t *testing.T, s *tcpip.Stack) {
 	t.Helper()
@@ -219,12 +238,8 @@ func TestEmbeddedSecureRedirect(t *testing.T) {
 	}
 	go srv.Run()
 	defer srv.Close()
-	time.Sleep(50 * time.Millisecond) // let slots reach tcp_listen
 
-	tcb, err := cli.Connect(mid.Addr(), 443, 5*time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
+	tcb := connectRetry(t, cli, mid.Addr(), 443)
 	sc, err := issl.BindClient(tcb, issl.Config{Profile: issl.ProfileEmbedded, PSK: psk, Rand: prng.NewXorshift(77)})
 	if err != nil {
 		t.Fatalf("handshake: %v", err)
@@ -261,16 +276,14 @@ func TestE5ConnectionLimit(t *testing.T) {
 	}
 	go srv.Run()
 	defer srv.Close()
-	time.Sleep(50 * time.Millisecond)
 
-	// Occupy all three slots with live secure sessions.
+	// Occupy all three slots with live secure sessions. Slots reach
+	// tcp_listen asynchronously, so each dial retries until its slot is
+	// up instead of sleeping a fixed grace period.
 	var conns []*issl.Conn
 	var tcbs []*tcpip.TCB
 	for i := 0; i < 3; i++ {
-		tcb, err := cli.Connect(mid.Addr(), 443, 5*time.Second)
-		if err != nil {
-			t.Fatalf("connection %d: %v", i, err)
-		}
+		tcb := connectRetry(t, cli, mid.Addr(), 443)
 		sc, err := issl.BindClient(tcb, issl.Config{Profile: issl.ProfileEmbedded, PSK: psk, Rand: prng.NewXorshift(uint64(200 + i))})
 		if err != nil {
 			t.Fatalf("handshake %d: %v", i, err)
@@ -696,6 +709,77 @@ func TestUnixAdmissionControl(t *testing.T) {
 	}
 }
 
+// TestUnixAdmissionReopensAfterDrain is the full-drain companion to
+// TestUnixAdmissionControl: with MaxInflight=1 the server alternates
+// saturated/empty, and admission must reopen completely every time the
+// single inflight unit drains — refusal is load shedding, not a latch.
+func TestUnixAdmissionReopensAfterDrain(t *testing.T) {
+	cli, mid, back := world(t)
+	startEchoBackend(t, back)
+	srv, err := NewUnixServer(mid, Config{
+		ListenPort: 8080, Target: back.Addr(), TargetPort: backendPort,
+		Secure: false, MaxInflight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		// Saturate the single unit with a verified live connection.
+		held, err := cli.Connect(mid.Addr(), 8080, 5*time.Second)
+		if err != nil {
+			t.Fatalf("round %d connect: %v", round, err)
+		}
+		held.Write([]byte("x"))
+		buf := make([]byte, 4)
+		if _, err := held.ReadDeadline(buf, time.Now().Add(5*time.Second)); err != nil {
+			t.Fatalf("round %d echo: %v", round, err)
+		}
+
+		// While saturated, the next arrival is shed with a clean FIN.
+		over, err := cli.Connect(mid.Addr(), 8080, 5*time.Second)
+		if err != nil {
+			t.Fatalf("round %d over-limit connect: %v", round, err)
+		}
+		if _, err := over.ReadDeadline(buf, time.Now().Add(5*time.Second)); err != io.EOF {
+			t.Errorf("round %d over-limit read err = %v, want EOF", round, err)
+		}
+		over.Close()
+		if got := srv.Stats().AdmissionRefused.Value(); got != uint64(round+1) {
+			t.Errorf("round %d refused_admission = %d, want %d", round, got, round+1)
+		}
+
+		// Drain fully and wait for the server to notice (bounded poll,
+		// no fixed sleep: the proxy tears down asynchronously).
+		held.Close()
+		deadline := time.Now().Add(5 * time.Second)
+		for srv.Stats().Inflight.Value() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: inflight stuck at %d after drain",
+					round, srv.Stats().Inflight.Value())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// After the last drain the door must be fully open again.
+	final, err := cli.Connect(mid.Addr(), 8080, 5*time.Second)
+	if err != nil {
+		t.Fatalf("post-drain connect: %v", err)
+	}
+	final.Write([]byte("again"))
+	buf := make([]byte, 8)
+	if _, err := final.ReadDeadline(buf, time.Now().Add(5*time.Second)); err != nil {
+		t.Errorf("post-drain echo: %v", err)
+	}
+	if got := srv.Stats().AdmissionRefused.Value(); got != rounds {
+		t.Errorf("final refused_admission = %d, want %d (reopen must not refuse)", got, rounds)
+	}
+}
+
 // TestEmbeddedCloseWaitsForHandlers is the goroutine-accounting fix:
 // Close must not return while serveSlot helper goroutines are still
 // running, so soaks can assert a zero-leak baseline.
@@ -711,13 +795,10 @@ func TestEmbeddedCloseWaitsForHandlers(t *testing.T) {
 	}
 	runReturned := make(chan struct{})
 	go func() { srv.Run(); close(runReturned) }()
-	time.Sleep(50 * time.Millisecond)
 
-	// Park a connection mid-transfer so a handler goroutine is live.
-	tcb, err := cli.Connect(mid.Addr(), 443, 5*time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
+	// Park a connection mid-transfer so a handler goroutine is live
+	// (retry-dial replaces the fixed slot-startup sleep).
+	tcb := connectRetry(t, cli, mid.Addr(), 443)
 	tcb.Write([]byte("hold"))
 	buf := make([]byte, 8)
 	if _, err := tcb.ReadDeadline(buf, time.Now().Add(5*time.Second)); err != nil {
