@@ -87,7 +87,10 @@ func writeBenchJSON(path string) error {
 	results := append([]benchResult(nil), benchResults...)
 	benchMu.Unlock()
 	// A benchmark runs several times while the harness calibrates b.N;
-	// keep the final (largest-N, then last) run of each name.
+	// keep the largest-N run of each name. Among equal-N repeats (a
+	// -count=K run), keep the fastest: min-of-K is the noise-robust
+	// statistic, so CI can gate single-iteration timings by running
+	// `-benchtime=1x -count=5` and comparing the best of five.
 	byName := map[string]benchResult{}
 	var order []string
 	for _, r := range results {
@@ -95,7 +98,7 @@ func writeBenchJSON(path string) error {
 		if !ok {
 			order = append(order, r.Name)
 		}
-		if !ok || r.N >= prev.N {
+		if !ok || r.N > prev.N || (r.N == prev.N && r.NsPerOp < prev.NsPerOp) {
 			byName[r.Name] = r
 		}
 	}

@@ -1,0 +1,146 @@
+// Command benchdiff compares two benchmark JSON reports (the format
+// written by `go test -benchjson`, see benchjson_test.go) and fails
+// when any benchmark regressed beyond a threshold. CI uses it to gate
+// the crypto hot-path kernels against the committed baseline:
+//
+//	go test -run '^$' -bench 'BenchmarkKernel' -benchtime=1x -benchjson BENCH_head.json .
+//	go run ./cmd/benchdiff -old BENCH_baseline.json -new BENCH_head.json \
+//	    -filter '^BenchmarkKernel' -max-regress 25
+//
+// Only benchmarks present in both reports are compared; names that
+// appear on one side only are listed but never fail the run (adding a
+// benchmark should not require regenerating the baseline in the same
+// change). The threshold applies to ns/op; results faster than -min-ns
+// are skipped as too small to time reliably at -benchtime=1x.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type benchResult struct {
+	Name    string             `json:"name"`
+	N       int                `json:"n"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchReport struct {
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Results   []benchResult `json:"results"`
+}
+
+func readReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	var (
+		oldPath    = flag.String("old", "", "baseline report (required)")
+		newPath    = flag.String("new", "", "candidate report (required)")
+		filter     = flag.String("filter", "", "regexp; only matching benchmark names are compared")
+		maxRegress = flag.Float64("max-regress", 25, "fail when ns/op grows more than this percent")
+		minNs      = flag.Float64("min-ns", 10_000, "skip results faster than this (too noisy at one iteration)")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are both required")
+		os.Exit(2)
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	}
+	oldRep, err := readReport(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRep, err := readReport(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	oldBy := map[string]benchResult{}
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	var names []string
+	newBy := map[string]benchResult{}
+	for _, r := range newRep.Results {
+		newBy[r.Name] = r
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("benchdiff: %s (%s) vs %s (%s), max regression %.0f%%\n",
+		*oldPath, oldRep.Date, *newPath, newRep.Date, *maxRegress)
+	failed := 0
+	compared := 0
+	for _, name := range names {
+		if re != nil && !re.MatchString(name) {
+			continue
+		}
+		nw := newBy[name]
+		od, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("  %-44s %12.0f ns/op  (new — no baseline)\n", name, nw.NsPerOp)
+			continue
+		}
+		if od.NsPerOp <= 0 || nw.NsPerOp <= 0 {
+			fmt.Printf("  %-44s (no timing on one side, skipped)\n", name)
+			continue
+		}
+		pct := (nw.NsPerOp - od.NsPerOp) / od.NsPerOp * 100
+		status := "ok"
+		if od.NsPerOp < *minNs && nw.NsPerOp < *minNs {
+			status = "skipped (below -min-ns)"
+		} else if pct > *maxRegress {
+			status = "REGRESSION"
+			failed++
+		}
+		if status != "skipped (below -min-ns)" {
+			compared++
+		}
+		fmt.Printf("  %-44s %12.0f -> %-12.0f ns/op  %+7.1f%%  %s\n",
+			name, od.NsPerOp, nw.NsPerOp, pct, status)
+	}
+	for name := range oldBy {
+		if re != nil && !re.MatchString(name) {
+			continue
+		}
+		if _, ok := newBy[name]; !ok {
+			fmt.Printf("  %-44s (baseline only — missing from new report)\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks compared (filter too narrow, or empty reports)")
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", failed, *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmark(s) within threshold\n", compared)
+}

@@ -40,6 +40,7 @@ func main() {
 		plain       = flag.Bool("plain", false, "plaintext baseline (no issl layer)")
 		wall        = flag.Bool("wall", false, "also record wall-clock latency percentiles (not replayable)")
 		jsonPath    = flag.String("json", "BENCH_load.json", "report output path (empty = skip)")
+		baseline    = flag.String("baseline", "", "prior report to diff against (empty = the -json path's current contents, if any)")
 		smoke       = flag.Bool("smoke", false, "small fixed workload for CI (overrides sizing flags)")
 	)
 	flag.Parse()
@@ -78,11 +79,38 @@ func main() {
 		cfg.Clients, cfg.Requests, cfg.Resume, cfg.Concurrency = 32, 2, 0.5, 16
 	}
 
+	// Capture the baseline before the run (and before -json truncates
+	// it — by default they are the same file): the committed
+	// BENCH_load.json from the last perf PR is the "before" axis.
+	basePath := *baseline
+	if basePath == "" {
+		basePath = *jsonPath
+	}
+	var base *loadgen.Report
+	if basePath != "" {
+		if f, err := os.Open(basePath); err == nil {
+			base, err = loadgen.ReadReport(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		} else if *baseline != "" {
+			// An explicit -baseline that does not exist is an error; a
+			// missing default (first run) just skips the delta.
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	start := time.Now()
 	rep, err := loadgen.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if base != nil {
+		rep.AttachBaseline(base)
 	}
 	if err := rep.WriteText(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)

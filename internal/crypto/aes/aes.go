@@ -5,11 +5,15 @@
 // everything but 128-bit keys and blocks; NewPorted constructs exactly
 // that reduced profile.
 //
-// The implementation is deliberately a straightforward byte-oriented
+// Two implementations coexist: a straightforward byte-oriented
 // transliteration of the Rijndael specification — the same style as the
-// portable C code the paper ported — rather than a T-table design. The
-// hand-written Rabbit assembly counterpart lives in asm/aes128.asm and
-// is exercised on the CPU simulator by the E1 benchmark.
+// portable C code the paper ported — and a precomputed T-table fast
+// path (ttable.go) used for the FIPS-197 Nb=4 geometry that the issl
+// record layer runs hot. The generic path remains the only
+// implementation for 192/256-bit blocks and serves as the in-package
+// oracle for the fast path. The hand-written Rabbit assembly
+// counterpart lives in asm/aes128.asm and is exercised on the CPU
+// simulator by the E1 benchmark.
 package aes
 
 import (
@@ -31,6 +35,7 @@ type Cipher struct {
 	nk     int      // key size in 32-bit words (4, 6 or 8)
 	nr     int      // number of rounds
 	rk     []uint32 // expanded key, (nr+1)*nb words
+	drk    []uint32 // equivalent-inverse key for the Nb=4 T-table path
 	shifts [4]int   // ShiftRows offsets per row
 }
 
@@ -73,6 +78,7 @@ func init() {
 		sbox[i] = s
 		isbox[s] = byte(i)
 	}
+	initTables()
 }
 
 func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
@@ -177,6 +183,9 @@ func (c *Cipher) expandKey(key []byte) {
 		}
 		c.rk[i] = c.rk[i-c.nk] ^ t
 	}
+	if c.nb == 4 {
+		c.expandDecKey()
+	}
 }
 
 func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
@@ -193,6 +202,17 @@ func (c *Cipher) Encrypt(dst, src []byte) {
 	if len(src) < bs || len(dst) < bs {
 		panic("aes: input not full block")
 	}
+	if c.nb == 4 {
+		c.encryptBlock4(dst, src)
+		return
+	}
+	c.encryptGeneric(dst, src)
+}
+
+// encryptGeneric is the byte-oriented spec transliteration, used for
+// the big Rijndael blocks and as the T-table path's oracle.
+func (c *Cipher) encryptGeneric(dst, src []byte) {
+	bs := c.BlockSize()
 	var st [32]byte // column-major state, 4 rows x nb cols
 	copy(st[:], src[:bs])
 	c.addRoundKey(&st, 0)
@@ -214,6 +234,16 @@ func (c *Cipher) Decrypt(dst, src []byte) {
 	if len(src) < bs || len(dst) < bs {
 		panic("aes: input not full block")
 	}
+	if c.nb == 4 {
+		c.decryptBlock4(dst, src)
+		return
+	}
+	c.decryptGeneric(dst, src)
+}
+
+// decryptGeneric is the byte-oriented inverse cipher.
+func (c *Cipher) decryptGeneric(dst, src []byte) {
+	bs := c.BlockSize()
 	var st [32]byte
 	copy(st[:], src[:bs])
 	c.addRoundKey(&st, c.nr)

@@ -45,46 +45,70 @@ func (c *Cipher) Unpad(data []byte) ([]byte, error) {
 // EncryptCBC encrypts plaintext (already padded to a whole number of
 // blocks) under the given IV. The IV must be one block long.
 func (c *Cipher) EncryptCBC(iv, plaintext []byte) ([]byte, error) {
-	bs := c.BlockSize()
-	if len(iv) != bs {
-		return nil, fmt.Errorf("aes: IV must be %d bytes, got %d", bs, len(iv))
-	}
-	if len(plaintext)%bs != 0 {
-		return nil, fmt.Errorf("aes: CBC plaintext length %d not a multiple of %d", len(plaintext), bs)
-	}
 	out := make([]byte, len(plaintext))
-	prev := iv
-	for off := 0; off < len(plaintext); off += bs {
-		blk := make([]byte, bs)
-		for i := 0; i < bs; i++ {
-			blk[i] = plaintext[off+i] ^ prev[i]
-		}
-		c.Encrypt(out[off:off+bs], blk)
-		prev = out[off : off+bs]
+	copy(out, plaintext)
+	if err := c.EncryptCBCInPlace(iv, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// DecryptCBC reverses EncryptCBC.
-func (c *Cipher) DecryptCBC(iv, ciphertext []byte) ([]byte, error) {
+// EncryptCBCInPlace encrypts buf (a whole number of blocks) in place
+// under the given IV, allocating nothing. This is the record-layer
+// fast path: the whole buffer is chained block to block without any
+// per-block scratch.
+func (c *Cipher) EncryptCBCInPlace(iv, buf []byte) error {
 	bs := c.BlockSize()
 	if len(iv) != bs {
-		return nil, fmt.Errorf("aes: IV must be %d bytes, got %d", bs, len(iv))
+		return fmt.Errorf("aes: IV must be %d bytes, got %d", bs, len(iv))
 	}
-	if len(ciphertext)%bs != 0 {
-		return nil, fmt.Errorf("aes: CBC ciphertext length %d not a multiple of %d", len(ciphertext), bs)
+	if len(buf)%bs != 0 {
+		return fmt.Errorf("aes: CBC plaintext length %d not a multiple of %d", len(buf), bs)
 	}
-	out := make([]byte, len(ciphertext))
 	prev := iv
-	blk := make([]byte, bs)
-	for off := 0; off < len(ciphertext); off += bs {
-		c.Decrypt(blk, ciphertext[off:off+bs])
+	for off := 0; off < len(buf); off += bs {
+		blk := buf[off : off+bs]
 		for i := 0; i < bs; i++ {
-			out[off+i] = blk[i] ^ prev[i]
+			blk[i] ^= prev[i]
 		}
-		prev = ciphertext[off : off+bs]
+		c.Encrypt(blk, blk)
+		prev = blk
+	}
+	return nil
+}
+
+// DecryptCBC reverses EncryptCBC.
+func (c *Cipher) DecryptCBC(iv, ciphertext []byte) ([]byte, error) {
+	out := make([]byte, len(ciphertext))
+	copy(out, ciphertext)
+	if err := c.DecryptCBCInPlace(iv, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// DecryptCBCInPlace reverses EncryptCBCInPlace, decrypting buf in
+// place with only stack scratch for the ciphertext chain.
+func (c *Cipher) DecryptCBCInPlace(iv, buf []byte) error {
+	bs := c.BlockSize()
+	if len(iv) != bs {
+		return fmt.Errorf("aes: IV must be %d bytes, got %d", bs, len(iv))
+	}
+	if len(buf)%bs != 0 {
+		return fmt.Errorf("aes: CBC ciphertext length %d not a multiple of %d", len(buf), bs)
+	}
+	var prev, cur [32]byte // block is at most 32 bytes
+	copy(prev[:bs], iv)
+	for off := 0; off < len(buf); off += bs {
+		blk := buf[off : off+bs]
+		copy(cur[:bs], blk)
+		c.Decrypt(blk, blk)
+		for i := 0; i < bs; i++ {
+			blk[i] ^= prev[i]
+		}
+		prev = cur
+	}
+	return nil
 }
 
 // CTR returns a keystream XOR of data under a counter starting at the

@@ -1,0 +1,173 @@
+package aes
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/race"
+)
+
+// cbcEncryptGeneric is CBC over the byte-oriented reference cipher —
+// the seed kernel's exact data path, kept for equivalence tests and
+// the before/after benchmarks.
+func cbcEncryptGeneric(c *Cipher, iv, plaintext []byte) []byte {
+	bs := c.BlockSize()
+	out := make([]byte, len(plaintext))
+	prev := iv
+	for off := 0; off < len(plaintext); off += bs {
+		blk := make([]byte, bs)
+		for i := 0; i < bs; i++ {
+			blk[i] = plaintext[off+i] ^ prev[i]
+		}
+		c.encryptGeneric(out[off:off+bs], blk)
+		prev = out[off : off+bs]
+	}
+	return out
+}
+
+// TestTTableMatchesGeneric diffs the T-table fast path against the
+// byte-oriented spec transliteration over 10k seeded vectors for every
+// FIPS key size, both directions.
+func TestTTableMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 10_000; i++ {
+		keyLen := []int{16, 24, 32}[i%3]
+		key := make([]byte, keyLen)
+		rng.Read(key)
+		c, err := NewAES(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := make([]byte, 16)
+		rng.Read(pt)
+		fast, ref := make([]byte, 16), make([]byte, 16)
+		c.encryptBlock4(fast, pt)
+		c.encryptGeneric(ref, pt)
+		if !bytes.Equal(fast, ref) {
+			t.Fatalf("vector %d (key %d): encrypt ttable %x != generic %x", i, keyLen*8, fast, ref)
+		}
+		back, backRef := make([]byte, 16), make([]byte, 16)
+		c.decryptBlock4(back, ref)
+		c.decryptGeneric(backRef, ref)
+		if !bytes.Equal(back, backRef) {
+			t.Fatalf("vector %d (key %d): decrypt ttable %x != generic %x", i, keyLen*8, back, backRef)
+		}
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("vector %d: round trip lost the plaintext", i)
+		}
+	}
+}
+
+// TestCBCInPlaceMatchesAllocating checks the in-place whole-buffer CBC
+// against both the allocating API and the seed kernel's per-block path.
+func TestCBCInPlaceMatchesAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 2_000; i++ {
+		key := make([]byte, 16)
+		iv := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(iv)
+		c, _ := NewAES(key)
+		pt := make([]byte, 16*(1+rng.Intn(8)))
+		rng.Read(pt)
+
+		want := cbcEncryptGeneric(c, iv, pt)
+		buf := append([]byte(nil), pt...)
+		if err := c.EncryptCBCInPlace(iv, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("vector %d: in-place CBC != generic CBC", i)
+		}
+		if err := c.DecryptCBCInPlace(iv, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, pt) {
+			t.Fatalf("vector %d: CBC decrypt in place lost the plaintext", i)
+		}
+	}
+}
+
+// TestCBCFastPathZeroAlloc pins the record-layer contract: whole-buffer
+// CBC in either direction allocates nothing.
+func TestCBCFastPathZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	key := make([]byte, 16)
+	iv := make([]byte, 16)
+	c, _ := NewAES(key)
+	buf := make([]byte, 4096)
+	if n := testing.AllocsPerRun(50, func() {
+		c.EncryptCBCInPlace(iv, buf)
+	}); n != 0 {
+		t.Errorf("EncryptCBCInPlace allocates %v per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		c.DecryptCBCInPlace(iv, buf)
+	}); n != 0 {
+		t.Errorf("DecryptCBCInPlace allocates %v per call, want 0", n)
+	}
+}
+
+func benchCipher(b *testing.B) *Cipher {
+	b.Helper()
+	key := make([]byte, 16)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	c, err := NewAES(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkEncryptTTable(b *testing.B) {
+	c := benchCipher(b)
+	blk := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.encryptBlock4(blk, blk)
+	}
+}
+
+func BenchmarkEncryptGeneric(b *testing.B) {
+	c := benchCipher(b)
+	blk := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.encryptGeneric(blk, blk)
+	}
+}
+
+func BenchmarkCBCEncryptFast_4K(b *testing.B) {
+	c := benchCipher(b)
+	iv := make([]byte, 16)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		c.EncryptCBCInPlace(iv, buf)
+	}
+}
+
+func BenchmarkCBCEncryptGeneric_4K(b *testing.B) {
+	c := benchCipher(b)
+	iv := make([]byte, 16)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		cbcEncryptGeneric(c, iv, buf)
+	}
+}
+
+func BenchmarkCBCDecryptFast_4K(b *testing.B) {
+	c := benchCipher(b)
+	iv := make([]byte, 16)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		c.DecryptCBCInPlace(iv, buf)
+	}
+}

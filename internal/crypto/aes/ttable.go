@@ -1,0 +1,135 @@
+package aes
+
+// T-table fast path for the FIPS-197 geometry (Nb=4, the only block
+// size the issl record layer runs hot). The four 256-entry tables fold
+// SubBytes, ShiftRows and MixColumns into one lookup+XOR per state
+// byte per round — the same transformation the paper applied by hand
+// in Rabbit assembly, done here at the Go level. Tables are generated
+// at init from the same GF(2^8) arithmetic as the S-boxes, so they are
+// correct by construction; the byte-oriented spec transliteration in
+// aes.go remains both the fallback for the big Rijndael blocks and the
+// in-package oracle the tests diff against.
+
+var (
+	te0, te1, te2, te3 [256]uint32 // encryption: MixColumns∘SubBytes
+	td0, td1, td2, td3 [256]uint32 // decryption: InvMixColumns∘InvSubBytes
+)
+
+// initTables is called from the package init in aes.go, after the
+// S-boxes are built.
+func initTables() {
+	rotr8 := func(w uint32) uint32 { return w>>8 | w<<24 }
+	for x := 0; x < 256; x++ {
+		s := sbox[x]
+		e := uint32(gmul(s, 2))<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(gmul(s, 3))
+		te0[x] = e
+		te1[x] = rotr8(e)
+		te2[x] = rotr8(te1[x])
+		te3[x] = rotr8(te2[x])
+
+		si := isbox[x]
+		d := uint32(gmul(si, 14))<<24 | uint32(gmul(si, 9))<<16 |
+			uint32(gmul(si, 13))<<8 | uint32(gmul(si, 11))
+		td0[x] = d
+		td1[x] = rotr8(d)
+		td2[x] = rotr8(td1[x])
+		td3[x] = rotr8(td2[x])
+	}
+}
+
+// expandDecKey derives the equivalent-inverse-cipher round keys for
+// the Nb=4 decrypt fast path: the encryption schedule reversed, with
+// InvMixColumns applied to every middle round key. InvMixColumns(w)
+// is td0[sbox[·]]^… because td0∘sbox strips the InvSubBytes baked into
+// the table. Called from expandKey when nb == 4.
+func (c *Cipher) expandDecKey() {
+	n := (c.nr + 1) * 4
+	c.drk = make([]uint32, n)
+	for i := 0; i < n; i += 4 {
+		ei := n - i - 4
+		for j := 0; j < 4; j++ {
+			x := c.rk[ei+j]
+			if i > 0 && i+4 < n {
+				x = td0[sbox[x>>24]] ^ td1[sbox[x>>16&0xff]] ^
+					td2[sbox[x>>8&0xff]] ^ td3[sbox[x&0xff]]
+			}
+			c.drk[i+j] = x
+		}
+	}
+}
+
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func put32(b []byte, w uint32) {
+	b[0] = byte(w >> 24)
+	b[1] = byte(w >> 16)
+	b[2] = byte(w >> 8)
+	b[3] = byte(w)
+}
+
+// encryptBlock4 encrypts one 16-byte block with the T-tables.
+// dst and src may overlap. Allocation-free.
+func (c *Cipher) encryptBlock4(dst, src []byte) {
+	rk := c.rk
+	s0 := be32(src[0:4]) ^ rk[0]
+	s1 := be32(src[4:8]) ^ rk[1]
+	s2 := be32(src[8:12]) ^ rk[2]
+	s3 := be32(src[12:16]) ^ rk[3]
+
+	k := 4
+	for r := 1; r < c.nr; r++ {
+		t0 := rk[k] ^ te0[s0>>24] ^ te1[s1>>16&0xff] ^ te2[s2>>8&0xff] ^ te3[s3&0xff]
+		t1 := rk[k+1] ^ te0[s1>>24] ^ te1[s2>>16&0xff] ^ te2[s3>>8&0xff] ^ te3[s0&0xff]
+		t2 := rk[k+2] ^ te0[s2>>24] ^ te1[s3>>16&0xff] ^ te2[s0>>8&0xff] ^ te3[s1&0xff]
+		t3 := rk[k+3] ^ te0[s3>>24] ^ te1[s0>>16&0xff] ^ te2[s1>>8&0xff] ^ te3[s2&0xff]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes + ShiftRows, no MixColumns.
+	o0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xff])<<16 |
+		uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3&0xff])
+	o1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xff])<<16 |
+		uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0&0xff])
+	o2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xff])<<16 |
+		uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1&0xff])
+	o3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xff])<<16 |
+		uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2&0xff])
+	put32(dst[0:4], o0^rk[k])
+	put32(dst[4:8], o1^rk[k+1])
+	put32(dst[8:12], o2^rk[k+2])
+	put32(dst[12:16], o3^rk[k+3])
+}
+
+// decryptBlock4 decrypts one 16-byte block with the T-tables and the
+// equivalent-inverse round keys. dst and src may overlap.
+func (c *Cipher) decryptBlock4(dst, src []byte) {
+	dk := c.drk
+	s0 := be32(src[0:4]) ^ dk[0]
+	s1 := be32(src[4:8]) ^ dk[1]
+	s2 := be32(src[8:12]) ^ dk[2]
+	s3 := be32(src[12:16]) ^ dk[3]
+
+	k := 4
+	for r := 1; r < c.nr; r++ {
+		t0 := dk[k] ^ td0[s0>>24] ^ td1[s3>>16&0xff] ^ td2[s2>>8&0xff] ^ td3[s1&0xff]
+		t1 := dk[k+1] ^ td0[s1>>24] ^ td1[s0>>16&0xff] ^ td2[s3>>8&0xff] ^ td3[s2&0xff]
+		t2 := dk[k+2] ^ td0[s2>>24] ^ td1[s1>>16&0xff] ^ td2[s0>>8&0xff] ^ td3[s3&0xff]
+		t3 := dk[k+3] ^ td0[s3>>24] ^ td1[s2>>16&0xff] ^ td2[s1>>8&0xff] ^ td3[s0&0xff]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	o0 := uint32(isbox[s0>>24])<<24 | uint32(isbox[s3>>16&0xff])<<16 |
+		uint32(isbox[s2>>8&0xff])<<8 | uint32(isbox[s1&0xff])
+	o1 := uint32(isbox[s1>>24])<<24 | uint32(isbox[s0>>16&0xff])<<16 |
+		uint32(isbox[s3>>8&0xff])<<8 | uint32(isbox[s2&0xff])
+	o2 := uint32(isbox[s2>>24])<<24 | uint32(isbox[s1>>16&0xff])<<16 |
+		uint32(isbox[s0>>8&0xff])<<8 | uint32(isbox[s3&0xff])
+	o3 := uint32(isbox[s3>>24])<<24 | uint32(isbox[s2>>16&0xff])<<16 |
+		uint32(isbox[s1>>8&0xff])<<8 | uint32(isbox[s0&0xff])
+	put32(dst[0:4], o0^dk[k])
+	put32(dst[4:8], o1^dk[k+1])
+	put32(dst[8:12], o2^dk[k+2])
+	put32(dst[12:16], o3^dk[k+3])
+}

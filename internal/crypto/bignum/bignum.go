@@ -371,7 +371,9 @@ func (x Int) Mod(y Int) Int {
 // ModMul returns x*y mod m.
 func (x Int) ModMul(y, m Int) Int { return x.Mul(y).Mod(m) }
 
-// ModExp returns x^e mod m by square-and-multiply. m must be nonzero.
+// ModExp returns x^e mod m. m must be nonzero. Odd moduli (every RSA
+// modulus, prime, and CRT factor) take the Montgomery fast path in
+// mont.go; even moduli fall back to the schoolbook square-and-multiply.
 func (x Int) ModExp(e, m Int) Int {
 	if m.IsZero() {
 		panic(ErrDivByZero)
@@ -379,6 +381,16 @@ func (x Int) ModExp(e, m Int) Int {
 	if m.Cmp(One()) == 0 {
 		return Int{}
 	}
+	if m.IsOdd() {
+		return newMontCtx(m).exp(x.Mod(m), e)
+	}
+	return x.modExpBasic(e, m)
+}
+
+// modExpBasic is the original square-and-multiply over ModMul (full
+// multiply + long division per step). Kept as the even-modulus path
+// and as the oracle the Montgomery tests diff against.
+func (x Int) modExpBasic(e, m Int) Int {
 	result := One()
 	base := x.Mod(m)
 	for i := 0; i < e.BitLen(); i++ {

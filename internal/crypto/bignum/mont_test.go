@@ -1,0 +1,93 @@
+package bignum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randInt(rng *rand.Rand, maxLimbs int) Int {
+	n := 1 + rng.Intn(maxLimbs)
+	l := make([]uint32, n)
+	for i := range l {
+		l[i] = rng.Uint32()
+	}
+	return Int{limbs: norm(l)}
+}
+
+// TestMontExpEquivalence diffs the Montgomery window exponentiation
+// against the schoolbook oracle over 10k seeded (x, e, m) triples with
+// odd moduli of mixed widths, plus the degenerate corners.
+func TestMontExpEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 10_000
+	if testing.Short() {
+		n = 1_000
+	}
+	for i := 0; i < n; i++ {
+		m := randInt(rng, 6)
+		if len(m.limbs) == 0 {
+			m = One()
+		}
+		m.limbs = append([]uint32(nil), m.limbs...)
+		m.limbs[0] |= 1 // force odd
+		x := randInt(rng, 7)
+		e := randInt(rng, 3)
+		switch i % 50 {
+		case 0:
+			e = Zero()
+		case 1:
+			x = Zero()
+		case 2:
+			e = One()
+		}
+		got := x.ModExp(e, m)
+		want := x.modExpBasic(e, m)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("vector %d: x=%s e=%s m=%s: mont %s != basic %s",
+				i, x, e, m, got, want)
+		}
+	}
+}
+
+// TestMontExpEvenModulus pins the fallback: even moduli still work.
+func TestMontExpEvenModulus(t *testing.T) {
+	x := FromUint64(12345)
+	e := FromUint64(77)
+	m := FromUint64(1 << 20)
+	if got, want := x.ModExp(e, m), x.modExpBasic(e, m); got.Cmp(want) != 0 {
+		t.Fatalf("even modulus: %s != %s", got, want)
+	}
+}
+
+func benchModExpInputs() (x, e, m Int) {
+	rng := rand.New(rand.NewSource(32))
+	// 1024-bit odd modulus, 1024-bit exponent: the RSA private-key shape.
+	m = randInt(rng, 32)
+	for len(m.limbs) < 32 {
+		m.limbs = append(m.limbs, rng.Uint32()|1)
+	}
+	m.limbs[0] |= 1
+	m.limbs[31] |= 0x80000000
+	e = randInt(rng, 32)
+	for len(e.limbs) < 32 {
+		e.limbs = append(e.limbs, rng.Uint32()|1)
+	}
+	x = randInt(rng, 31)
+	return
+}
+
+func BenchmarkModExpMont_1024(b *testing.B) {
+	x, e, m := benchModExpInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.ModExp(e, m)
+	}
+}
+
+func BenchmarkModExpBasic_1024(b *testing.B) {
+	x, e, m := benchModExpInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.modExpBasic(e, m)
+	}
+}

@@ -10,6 +10,7 @@ package rsa
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/crypto/bignum"
 	"repro/internal/crypto/prng"
@@ -21,12 +22,18 @@ type PublicKey struct {
 	E bignum.Int // public exponent
 }
 
-// PrivateKey is an RSA private key.
+// PrivateKey is an RSA private key. Private-key operations use the
+// CRT fast path (crt.go) when P and Q are present; keys should be
+// created once and used by pointer so the lazily derived CRT values
+// are computed a single time.
 type PrivateKey struct {
 	PublicKey
 	D bignum.Int // private exponent
 	P bignum.Int // prime factor
 	Q bignum.Int // prime factor
+
+	crtOnce sync.Once
+	crtVals *crtValues
 }
 
 var (
@@ -178,7 +185,7 @@ func (priv *PrivateKey) DecryptPKCS1(ct []byte) ([]byte, error) {
 	if c.Cmp(priv.N) >= 0 {
 		return nil, ErrDecryption
 	}
-	em := c.ModExp(priv.D, priv.N).FillBytes(make([]byte, k))
+	em := priv.privExp(c).FillBytes(make([]byte, k))
 	if em[0] != 0x00 || em[1] != 0x02 {
 		return nil, ErrDecryption
 	}
@@ -212,7 +219,7 @@ func (priv *PrivateKey) SignRaw(digest []byte) ([]byte, error) {
 	}
 	em[2+padLen] = 0x00
 	copy(em[3+padLen:], digest)
-	s := bignum.FromBytes(em).ModExp(priv.D, priv.N)
+	s := priv.privExp(bignum.FromBytes(em))
 	return s.FillBytes(make([]byte, k)), nil
 }
 

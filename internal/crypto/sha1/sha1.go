@@ -5,6 +5,12 @@
 //
 // SHA-1 is obsolete for collision resistance today; it is used here
 // solely to reproduce a 2003-era protocol stack.
+//
+// The compression function is unrolled into the four 20-round stages
+// (constant f/k per stage) and the streaming paths allocate nothing,
+// so the issl record layer can MAC every record without garbage. The
+// original straight-from-spec round loop is kept as compressRef and
+// diffed against the unrolled one by the package tests.
 package sha1
 
 // Size is the digest length in bytes.
@@ -40,7 +46,7 @@ func (d *Digest) Reset() {
 func (d *Digest) Write(p []byte) (int, error) {
 	n := len(p)
 	d.length += uint64(n)
-	for len(p) > 0 {
+	if d.nBlock > 0 {
 		c := copy(d.block[d.nBlock:], p)
 		d.nBlock += c
 		p = p[c:]
@@ -49,33 +55,96 @@ func (d *Digest) Write(p []byte) (int, error) {
 			d.nBlock = 0
 		}
 	}
+	for len(p) >= BlockSize {
+		d.compress(p[:BlockSize])
+		p = p[BlockSize:]
+	}
+	if len(p) > 0 {
+		d.nBlock = copy(d.block[:], p)
+	}
 	return n, nil
 }
 
 // Sum appends the digest of everything written so far to b, without
 // disturbing the running state.
 func (d *Digest) Sum(b []byte) []byte {
+	var out [Size]byte
+	d.SumInto(&out)
+	return append(b, out[:]...)
+}
+
+// SumInto writes the digest of everything written so far into out,
+// without disturbing the running state and without allocating.
+func (d *Digest) SumInto(out *[Size]byte) {
 	cp := *d
 	bitLen := cp.length * 8
-	cp.Write([]byte{0x80})
-	for cp.nBlock != 56 {
-		cp.Write([]byte{0})
-	}
-	var lenb [8]byte
+	// Padding: 0x80, zeros to 56 mod 64, then the 64-bit length.
+	var pad [BlockSize + 8]byte
+	pad[0] = 0x80
+	padLen := 1 + (55-int(cp.length)%BlockSize+BlockSize)%BlockSize
 	for i := 0; i < 8; i++ {
-		lenb[i] = byte(bitLen >> (56 - 8*i))
+		pad[padLen+i] = byte(bitLen >> (56 - 8*i))
 	}
-	cp.Write(lenb[:])
-	out := make([]byte, 0, Size)
-	for _, w := range cp.h {
-		out = append(out, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	cp.Write(pad[:padLen+8])
+	for i, w := range cp.h {
+		out[4*i] = byte(w >> 24)
+		out[4*i+1] = byte(w >> 16)
+		out[4*i+2] = byte(w >> 8)
+		out[4*i+3] = byte(w)
 	}
-	return append(b, out...)
 }
 
 func rotl32(x uint32, n uint) uint32 { return x<<n | x>>(32-n) }
 
+// compress is the unrolled SHA-1 compression function: the message
+// schedule feeds a 16-word ring and the 80 rounds run as four straight
+// 20-round stages so f and k are loop constants.
 func (d *Digest) compress(block []byte) {
+	var w [16]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = uint32(block[4*i])<<24 | uint32(block[4*i+1])<<16 |
+			uint32(block[4*i+2])<<8 | uint32(block[4*i+3])
+	}
+	a, b, c, dd, e := d.h[0], d.h[1], d.h[2], d.h[3], d.h[4]
+	i := 0
+	for ; i < 16; i++ {
+		tmp := rotl32(a, 5) + (b&c | ^b&dd) + e + 0x5a827999 + w[i&15]
+		e, dd, c, b, a = dd, c, rotl32(b, 30), a, tmp
+	}
+	for ; i < 20; i++ {
+		wi := rotl32(w[(i+13)&15]^w[(i+8)&15]^w[(i+2)&15]^w[i&15], 1)
+		w[i&15] = wi
+		tmp := rotl32(a, 5) + (b&c | ^b&dd) + e + 0x5a827999 + wi
+		e, dd, c, b, a = dd, c, rotl32(b, 30), a, tmp
+	}
+	for ; i < 40; i++ {
+		wi := rotl32(w[(i+13)&15]^w[(i+8)&15]^w[(i+2)&15]^w[i&15], 1)
+		w[i&15] = wi
+		tmp := rotl32(a, 5) + (b ^ c ^ dd) + e + 0x6ed9eba1 + wi
+		e, dd, c, b, a = dd, c, rotl32(b, 30), a, tmp
+	}
+	for ; i < 60; i++ {
+		wi := rotl32(w[(i+13)&15]^w[(i+8)&15]^w[(i+2)&15]^w[i&15], 1)
+		w[i&15] = wi
+		tmp := rotl32(a, 5) + (b&c | b&dd | c&dd) + e + 0x8f1bbcdc + wi
+		e, dd, c, b, a = dd, c, rotl32(b, 30), a, tmp
+	}
+	for ; i < 80; i++ {
+		wi := rotl32(w[(i+13)&15]^w[(i+8)&15]^w[(i+2)&15]^w[i&15], 1)
+		w[i&15] = wi
+		tmp := rotl32(a, 5) + (b ^ c ^ dd) + e + 0xca62c1d6 + wi
+		e, dd, c, b, a = dd, c, rotl32(b, 30), a, tmp
+	}
+	d.h[0] += a
+	d.h[1] += b
+	d.h[2] += c
+	d.h[3] += dd
+	d.h[4] += e
+}
+
+// compressRef is the straight-from-spec round loop the seed kernel
+// used, retained as the in-package oracle for the unrolled compress.
+func (d *Digest) compressRef(block []byte) {
 	var w [80]uint32
 	for i := 0; i < 16; i++ {
 		w[i] = uint32(block[4*i])<<24 | uint32(block[4*i+1])<<16 |
@@ -113,18 +182,50 @@ func (d *Digest) compress(block []byte) {
 
 // Sum1 is the one-shot convenience form.
 func Sum1(data []byte) [Size]byte {
-	d := New()
+	var d Digest
+	d.Reset()
 	d.Write(data)
 	var out [Size]byte
-	copy(out[:], d.Sum(nil))
+	d.SumInto(&out)
 	return out
 }
 
 // HMAC computes HMAC-SHA1(key, msg) per RFC 2104.
 func HMAC(key, msg []byte) [Size]byte {
+	var h HMACState
+	h.Init(key)
+	h.Write(msg)
+	var out [Size]byte
+	h.SumInto(&out)
+	return out
+}
+
+// HMACState is a reusable HMAC-SHA1 computation that caches the
+// inner- and outer-pad digest states at key setup, so each message
+// costs two fewer compressions than a from-scratch HMAC and the whole
+// MAC path allocates nothing. Reset rewinds to the keyed state; the
+// issl record layer Resets once per record.
+type HMACState struct {
+	inner, outer         Digest // running states
+	innerInit, outerInit Digest // states right after absorbing the pads
+}
+
+// NewHMAC returns an HMACState keyed with key.
+func NewHMAC(key []byte) *HMACState {
+	h := &HMACState{}
+	h.Init(key)
+	return h
+}
+
+// Init keys (or re-keys) the state.
+func (h *HMACState) Init(key []byte) {
+	var keyBuf [Size]byte
 	if len(key) > BlockSize {
-		s := Sum1(key)
-		key = s[:]
+		var d Digest
+		d.Reset()
+		d.Write(key)
+		d.SumInto(&keyBuf)
+		key = keyBuf[:]
 	}
 	var ipad, opad [BlockSize]byte
 	copy(ipad[:], key)
@@ -133,13 +234,28 @@ func HMAC(key, msg []byte) [Size]byte {
 		ipad[i] ^= 0x36
 		opad[i] ^= 0x5c
 	}
-	inner := New()
-	inner.Write(ipad[:])
-	inner.Write(msg)
-	outer := New()
-	outer.Write(opad[:])
-	outer.Write(inner.Sum(nil))
-	var out [Size]byte
-	copy(out[:], outer.Sum(nil))
-	return out
+	h.innerInit.Reset()
+	h.innerInit.Write(ipad[:])
+	h.outerInit.Reset()
+	h.outerInit.Write(opad[:])
+	h.Reset()
+}
+
+// Reset rewinds to the keyed state (pads absorbed, no message bytes).
+func (h *HMACState) Reset() {
+	h.inner = h.innerInit
+	h.outer = h.outerInit
+}
+
+// Write absorbs message bytes.
+func (h *HMACState) Write(p []byte) (int, error) { return h.inner.Write(p) }
+
+// SumInto finalizes the MAC into out without disturbing the running
+// state and without allocating. Call Reset before the next message.
+func (h *HMACState) SumInto(out *[Size]byte) {
+	var innerSum [Size]byte
+	h.inner.SumInto(&innerSum)
+	outer := h.outer
+	outer.Write(innerSum[:])
+	outer.SumInto(out)
 }

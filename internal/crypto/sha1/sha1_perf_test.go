@@ -1,0 +1,132 @@
+package sha1
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/race"
+)
+
+// TestCompressEquivalence diffs the unrolled compression function
+// against the retained straight-from-spec loop over 10k seeded blocks,
+// from randomized chaining states.
+func TestCompressEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	block := make([]byte, BlockSize)
+	for i := 0; i < 10_000; i++ {
+		var fast, ref Digest
+		for j := range fast.h {
+			fast.h[j] = rng.Uint32()
+		}
+		ref.h = fast.h
+		rng.Read(block)
+		fast.compress(block)
+		ref.compressRef(block)
+		if fast.h != ref.h {
+			t.Fatalf("vector %d: unrolled %x != reference %x", i, fast.h, ref.h)
+		}
+	}
+}
+
+// TestHMACStateMatchesOneShot checks the pad-caching streaming HMAC
+// against the one-shot form over 10k seeded key/message pairs, with
+// state reuse across messages (the record-layer usage pattern).
+func TestHMACStateMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var st *HMACState
+	var key []byte
+	for i := 0; i < 10_000; i++ {
+		if i%8 == 0 { // re-key every 8 messages
+			key = make([]byte, 1+rng.Intn(100))
+			rng.Read(key)
+			st = NewHMAC(key)
+		} else {
+			st.Reset()
+		}
+		msg := make([]byte, rng.Intn(300))
+		rng.Read(msg)
+		st.Write(msg)
+		var got [Size]byte
+		st.SumInto(&got)
+		want := HMAC(key, msg)
+		if got != want {
+			t.Fatalf("vector %d: streaming %x != one-shot %x", i, got, want)
+		}
+	}
+}
+
+func TestStreamingZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	msg := make([]byte, 300)
+	st := NewHMAC([]byte("record mac key twenty"))
+	var out [Size]byte
+	if n := testing.AllocsPerRun(100, func() {
+		st.Reset()
+		st.Write(msg)
+		st.SumInto(&out)
+	}); n != 0 {
+		t.Errorf("HMAC stream allocates %v per MAC, want 0", n)
+	}
+	var d Digest
+	if n := testing.AllocsPerRun(100, func() {
+		d.Reset()
+		d.Write(msg)
+		d.SumInto(&out)
+	}); n != 0 {
+		t.Errorf("Digest stream allocates %v per hash, want 0", n)
+	}
+}
+
+func TestSumIntoMatchesSum(t *testing.T) {
+	d := New()
+	d.Write([]byte("both forms agree"))
+	var a [Size]byte
+	d.SumInto(&a)
+	if !bytes.Equal(a[:], d.Sum(nil)) {
+		t.Error("SumInto != Sum")
+	}
+}
+
+func BenchmarkCompressUnrolled(b *testing.B) {
+	var d Digest
+	d.Reset()
+	block := make([]byte, BlockSize)
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		d.compress(block)
+	}
+}
+
+func BenchmarkCompressRef(b *testing.B) {
+	var d Digest
+	d.Reset()
+	block := make([]byte, BlockSize)
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		d.compressRef(block)
+	}
+}
+
+func BenchmarkHMACStream_256B(b *testing.B) {
+	st := NewHMAC([]byte("record mac key twenty"))
+	msg := make([]byte, 256)
+	var out [Size]byte
+	b.SetBytes(256)
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		st.Write(msg)
+		st.SumInto(&out)
+	}
+}
+
+func BenchmarkHMACOneShot_256B(b *testing.B) {
+	key := []byte("record mac key twenty")
+	msg := make([]byte, 256)
+	b.SetBytes(256)
+	for i := 0; i < b.N; i++ {
+		HMAC(key, msg)
+	}
+}

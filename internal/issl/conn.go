@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/crypto/aes"
 	"repro/internal/crypto/prng"
+	"repro/internal/crypto/sha1"
 )
 
 // Conn is an established secure connection. It implements
@@ -32,7 +33,15 @@ type Conn struct {
 	wSeq    uint64
 	rSeq    uint64
 
+	// Streaming MAC states, lazily derived from wMAC/rMAC (record.go)
+	// and invalidated by deriveKeys. wHMAC is guarded by wMu; rHMAC is
+	// owned by the reading goroutine.
+	wHMAC *sha1.HMACState
+	rHMAC *sha1.HMACState
+
 	rbuf      []byte // decrypted-but-undelivered plaintext
+	rbufStore []byte // rbuf's backing array, reused from refill to refill
+	rdScratch []byte // readRecord body scratch, owned by the reader
 	peerClose bool
 	closed    atomic.Bool
 
@@ -137,8 +146,20 @@ func (c *Conn) trySendAlert(code AlertCode) {
 	c.writeRecord(recClose, sealed)
 }
 
+// recBufPool holds sealed-record staging buffers shared by all
+// connections' Write calls; steady-state writes neither allocate nor
+// copy records more than once.
+var recBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// writeFlushThreshold bounds how many sealed bytes Write stages before
+// handing them to the transport in one call.
+const writeFlushThreshold = 16 * 1024
+
 // Write encrypts and sends data, fragmenting into records no larger
 // than the profile's limit (the embedded port's static buffers).
+// Records are sealed back to back into a pooled staging buffer and
+// flushed to the transport in batches, so a large Write costs one
+// transport call per ~16 KiB of records instead of one per record.
 func (c *Conn) Write(p []byte) (int, error) {
 	if err := c.terminalErr(); err != nil {
 		return 0, err
@@ -148,25 +169,54 @@ func (c *Conn) Write(p []byte) (int, error) {
 	}
 	c.wMu.Lock()
 	defer c.wMu.Unlock()
+	bufp := recBufPool.Get().(*[]byte)
+	buf := (*bufp)[:0]
+	defer func() { *bufp = buf[:0]; recBufPool.Put(bufp) }()
+
 	maxRec := c.cfg.maxRecord()
-	written := 0
-	for written < len(p) {
-		n := len(p) - written
+	written := 0 // plaintext bytes flushed to the transport
+	pending := 0 // plaintext bytes sealed but not yet flushed
+	pendingRecs := uint64(0)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := c.tr.Write(buf); err != nil {
+			return err
+		}
+		buf = buf[:0]
+		written += pending
+		c.bytesOut += uint64(pending)
+		c.recordsOut += pendingRecs
+		c.metrics.bytesOut.Add(uint64(pending))
+		c.metrics.recordsOut.Add(pendingRecs)
+		pending, pendingRecs = 0, 0
+		return nil
+	}
+	for off := 0; off < len(p); {
+		n := len(p) - off
 		if n > maxRec {
 			n = maxRec
 		}
-		sealed, err := c.sealRecord(recData, p[written:written+n])
+		var err error
+		buf, err = c.appendSealed(buf, recData, p[off:off+n])
 		if err != nil {
+			if ferr := flush(); ferr != nil {
+				return written, ferr
+			}
 			return written, err
 		}
-		if err := c.writeRecord(recData, sealed); err != nil {
-			return written, err
+		off += n
+		pending += n
+		pendingRecs++
+		if len(buf) >= writeFlushThreshold {
+			if err := flush(); err != nil {
+				return written, err
+			}
 		}
-		written += n
-		c.bytesOut += uint64(n)
-		c.recordsOut++
-		c.metrics.bytesOut.Add(uint64(n))
-		c.metrics.recordsOut.Inc()
+	}
+	if err := flush(); err != nil {
+		return written, err
 	}
 	return written, nil
 }
@@ -200,7 +250,11 @@ func (c *Conn) Read(p []byte) (int, error) {
 				err := fmt.Errorf("%w: %d > %d", ErrRecordTooBig, len(pt), c.cfg.maxRecord())
 				return 0, c.failAndAlert(err)
 			}
-			c.rbuf = append(c.rbuf, pt...)
+			// rbuf is empty here (the loop condition), so refill reuses
+			// its backing array; steady-state reads stop allocating once
+			// it has grown to the record size.
+			c.rbufStore = append(c.rbufStore[:0], pt...)
+			c.rbuf = c.rbufStore
 			c.bytesIn += uint64(len(pt))
 			c.recordsIn++
 			c.metrics.bytesIn.Add(uint64(len(pt)))

@@ -332,6 +332,8 @@ func (c *Conn) deriveKeys(isClient bool) error {
 		c.wCipher, c.wMAC = sCipher, sMAC
 		c.rCipher, c.rMAC = cCipher, cMAC
 	}
+	// Fresh keys invalidate the cached streaming MAC states.
+	c.wHMAC, c.rHMAC = nil, nil
 	return nil
 }
 

@@ -21,6 +21,11 @@ import (
 // where mac = HMAC-SHA1(macKey, seq64 || type || iv || ct)[:12],
 // encrypt-then-MAC, with an independent sequence counter and key pair
 // per direction.
+//
+// The steady-state data path is allocation-free: records are sealed
+// in place into a staging buffer (appendSealed), opened in place in
+// the read scratch (openRecord), and MACed through per-direction
+// streaming HMAC states that reuse the key pad blocks.
 
 // Record types.
 const (
@@ -33,6 +38,9 @@ const (
 const protocolVersion = 0x31 // "issl 1"
 
 const macLen = 12
+
+// recordHeaderLen is the framing prefix: type, version, 2-byte length.
+const recordHeaderLen = 4
 
 // writeRecord frames and transmits one record body.
 func (c *Conn) writeRecord(recType byte, body []byte) error {
@@ -86,8 +94,11 @@ func (c *Conn) readFull(buf []byte) error {
 }
 
 // readRecord reads exactly one record, returning its type and body.
+// The body aliases a per-connection scratch buffer that is valid only
+// until the next readRecord call; callers that keep record contents
+// (the transcript, the rbuf) copy what they need.
 func (c *Conn) readRecord() (byte, []byte, error) {
-	var hdr [4]byte
+	var hdr [recordHeaderLen]byte
 	if err := c.readFull(hdr[:]); err != nil {
 		return 0, nil, err
 	}
@@ -95,7 +106,10 @@ func (c *Conn) readRecord() (byte, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: version %#x", ErrBadRecord, hdr[1])
 	}
 	n := int(hdr[2])<<8 | int(hdr[3])
-	body := make([]byte, n)
+	if cap(c.rdScratch) < n {
+		c.rdScratch = make([]byte, n)
+	}
+	body := c.rdScratch[:n]
 	if err := c.readFull(body); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
@@ -105,25 +119,99 @@ func (c *Conn) readRecord() (byte, []byte, error) {
 	return hdr[0], body, nil
 }
 
-// sealRecord encrypts and MACs a data record body.
-func (c *Conn) sealRecord(recType byte, plaintext []byte) ([]byte, error) {
+// writeHMAC and readHMAC lazily build the streaming MAC states from
+// the directional keys. Lazy rather than eager because tests (and the
+// fuzz harness) assemble Conns from key material directly; deriveKeys
+// drops the cached states whenever it installs fresh keys.
+func (c *Conn) writeHMAC() *sha1.HMACState {
+	if c.wHMAC == nil {
+		c.wHMAC = sha1.NewHMAC(c.wMAC)
+	}
+	return c.wHMAC
+}
+
+func (c *Conn) readHMAC() *sha1.HMACState {
+	if c.rHMAC == nil {
+		c.rHMAC = sha1.NewHMAC(c.rMAC)
+	}
+	return c.rHMAC
+}
+
+// macInto computes the record MAC into sum without allocating:
+// HMAC(key, seq64 || type || iv || ct), truncated by the callers.
+func macInto(st *sha1.HMACState, seq uint64, recType byte, iv, ct []byte, sum *[sha1.Size]byte) {
+	st.Reset()
+	var pre [9]byte
+	pre[0] = byte(seq >> 56)
+	pre[1] = byte(seq >> 48)
+	pre[2] = byte(seq >> 40)
+	pre[3] = byte(seq >> 32)
+	pre[4] = byte(seq >> 24)
+	pre[5] = byte(seq >> 16)
+	pre[6] = byte(seq >> 8)
+	pre[7] = byte(seq)
+	pre[8] = recType
+	st.Write(pre[:])
+	st.Write(iv)
+	st.Write(ct)
+	st.SumInto(sum)
+}
+
+// appendSealed seals plaintext as one complete framed record (header
+// included) appended to dst and returns the extended slice. Everything
+// — IV generation, padding, CBC, MAC — happens in place inside dst, so
+// a dst with capacity to spare makes the call allocation-free. Callers
+// must hold wMu (it consumes the rng and the write sequence).
+func (c *Conn) appendSealed(dst []byte, recType byte, plaintext []byte) ([]byte, error) {
 	bs := c.wCipher.BlockSize()
-	iv := c.rng.Bytes(bs)
-	padded := c.wCipher.Pad(plaintext)
-	ct, err := c.wCipher.EncryptCBC(iv, padded)
+	padN := bs - len(plaintext)%bs // PKCS#7: always at least one byte
+	ctLen := len(plaintext) + padN
+	bodyLen := bs + ctLen + macLen
+	if bodyLen > 0xffff {
+		return nil, fmt.Errorf("%w: %d bytes", ErrRecordTooBig, bodyLen)
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, recordHeaderLen+bodyLen)...)
+	rec := dst[off:]
+	rec[0] = recType
+	rec[1] = protocolVersion
+	rec[2] = byte(bodyLen >> 8)
+	rec[3] = byte(bodyLen)
+	body := rec[recordHeaderLen:]
+	iv := body[:bs]
+	c.rng.Fill(iv)
+	ct := body[bs : bs+ctLen]
+	copy(ct, plaintext)
+	for i := len(plaintext); i < ctLen; i++ {
+		ct[i] = byte(padN)
+	}
+	if err := c.wCipher.EncryptCBCInPlace(iv, ct); err != nil {
+		return nil, err
+	}
+	var sum [sha1.Size]byte
+	macInto(c.writeHMAC(), c.wSeq, recType, iv, ct, &sum)
+	copy(body[bs+ctLen:], sum[:macLen])
+	c.wSeq++
+	return dst, nil
+}
+
+// sealRecord encrypts and MACs a data record body (unframed). The hot
+// write path stages records with appendSealed directly; this
+// allocating form serves the rare paths (alerts, close, Finished) and
+// the tests.
+func (c *Conn) sealRecord(recType byte, plaintext []byte) ([]byte, error) {
+	rec, err := c.appendSealed(nil, recType, plaintext)
 	if err != nil {
 		return nil, err
 	}
-	mac := c.recordMAC(c.wMAC, c.wSeq, recType, iv, ct)
-	c.wSeq++
-	out := make([]byte, 0, len(iv)+len(ct)+macLen)
-	out = append(out, iv...)
-	out = append(out, ct...)
-	out = append(out, mac...)
-	return out, nil
+	return rec[recordHeaderLen:], nil
 }
 
-// openRecord verifies and decrypts a data record body.
+// openRecord verifies and decrypts a data record body. Decryption is
+// in place: on success the returned plaintext aliases body's
+// ciphertext region and body's contents are consumed. A record that
+// fails authentication is left untouched (the MAC is checked before
+// anything is written).
 func (c *Conn) openRecord(recType byte, body []byte) ([]byte, error) {
 	bs := c.rCipher.BlockSize()
 	if len(body) < bs+macLen || (len(body)-bs-macLen)%bs != 0 {
@@ -132,33 +220,20 @@ func (c *Conn) openRecord(recType byte, body []byte) ([]byte, error) {
 	iv := body[:bs]
 	ct := body[bs : len(body)-macLen]
 	mac := body[len(body)-macLen:]
-	want := c.recordMAC(c.rMAC, c.rSeq, recType, iv, ct)
-	if !constEq(mac, want) {
+	var sum [sha1.Size]byte
+	macInto(c.readHMAC(), c.rSeq, recType, iv, ct, &sum)
+	if !constEq(mac, sum[:macLen]) {
 		return nil, ErrBadMAC
 	}
 	c.rSeq++
-	padded, err := c.rCipher.DecryptCBC(iv, ct)
-	if err != nil {
+	if err := c.rCipher.DecryptCBCInPlace(iv, ct); err != nil {
 		return nil, err
 	}
-	pt, err := c.rCipher.Unpad(padded)
+	pt, err := c.rCipher.Unpad(ct)
 	if err != nil {
 		return nil, fmt.Errorf("%w: padding", ErrBadRecord)
 	}
 	return pt, nil
-}
-
-// recordMAC computes the truncated record MAC.
-func (c *Conn) recordMAC(key []byte, seq uint64, recType byte, iv, ct []byte) []byte {
-	msg := make([]byte, 0, 9+len(iv)+len(ct))
-	for i := 0; i < 8; i++ {
-		msg = append(msg, byte(seq>>(56-8*i)))
-	}
-	msg = append(msg, recType)
-	msg = append(msg, iv...)
-	msg = append(msg, ct...)
-	m := sha1.HMAC(key, msg)
-	return m[:macLen]
 }
 
 // constEq compares MACs in constant time.

@@ -68,6 +68,38 @@ type MeasuredReport struct {
 	WallLatency       *Percentiles `json:"wall_latency,omitempty"`
 }
 
+// Delta is one before/after pair from a baseline comparison. Pct is
+// the relative change in percent: positive means New > Old.
+type Delta struct {
+	Old float64 `json:"old"`
+	New float64 `json:"new"`
+	Pct float64 `json:"pct"`
+}
+
+func deltaOf(old, new float64) Delta {
+	d := Delta{Old: old, New: new}
+	if old != 0 {
+		d.Pct = (new - old) / old * 100
+	}
+	return d
+}
+
+// BaselineDelta compares this run against a previously committed
+// report. Comparable is false when the two runs used different
+// workloads (seed, sizing, mode, or security differ), in which case
+// the deltas are still filled in but mean nothing as a regression
+// signal. MeasuredRPS is the wall-clock throughput axis — the one a
+// host-side kernel optimization moves; VirtualRPS is deterministic per
+// seed and should not move at all between runs of the same workload.
+type BaselineDelta struct {
+	Comparable    bool  `json:"comparable"`
+	MeasuredRPS   Delta `json:"measured_rps"`
+	VirtualRPS    Delta `json:"virtual_rps"`
+	VirtualP50Ns  Delta `json:"virtual_p50_ns"`
+	VirtualP99Ns  Delta `json:"virtual_p99_ns"`
+	MeasuredReqNs Delta `json:"measured_ns_per_request"`
+}
+
 // Report is the SLO report: configuration echo, the deterministic
 // virtual section, and the measured section.
 type Report struct {
@@ -85,6 +117,34 @@ type Report struct {
 
 	Virtual  VirtualReport  `json:"virtual"`
 	Measured MeasuredReport `json:"measured"`
+
+	// Baseline is filled in by AttachBaseline when a previously
+	// committed report is available to diff against.
+	Baseline *BaselineDelta `json:"baseline_delta,omitempty"`
+}
+
+// AttachBaseline computes the before/after section against a prior
+// report (typically the committed BENCH_load.json from the last perf
+// PR) and hangs it off the report as baseline_delta.
+func (r *Report) AttachBaseline(old *Report) {
+	nsPerReq := func(rep *Report) float64 {
+		if rep.Measured.Requests == 0 {
+			return 0
+		}
+		return float64(rep.Measured.DurationNs) / float64(rep.Measured.Requests)
+	}
+	r.Baseline = &BaselineDelta{
+		Comparable: old.Seed == r.Seed && old.Clients == r.Clients &&
+			old.Requests == r.Requests && old.Mode == r.Mode &&
+			old.Resume == r.Resume && old.ChurnEvery == r.ChurnEvery &&
+			old.Concurrency == r.Concurrency && old.Secure == r.Secure &&
+			old.Faulty == r.Faulty,
+		MeasuredRPS:   deltaOf(old.Measured.RPS, r.Measured.RPS),
+		VirtualRPS:    deltaOf(old.Virtual.RPS, r.Virtual.RPS),
+		VirtualP50Ns:  deltaOf(float64(old.Virtual.Latency.P50), float64(r.Virtual.Latency.P50)),
+		VirtualP99Ns:  deltaOf(float64(old.Virtual.Latency.P99), float64(r.Virtual.Latency.P99)),
+		MeasuredReqNs: deltaOf(nsPerReq(old), nsPerReq(r)),
+	}
 }
 
 // WriteJSON writes the full report (BENCH_load.json).
@@ -92,6 +152,15 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ReadReport parses a report previously written by WriteJSON.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("loadgen: parse baseline report: %w", err)
+	}
+	return &r, nil
 }
 
 // WriteText writes the human SLO report.
@@ -137,6 +206,22 @@ func (r *Report) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "  dials          %12d attempts, %d failures\n", m.DialAttempts, m.DialFailures)
 	if m.WallLatency != nil {
 		writePct(w, "  wall latency", *m.WallLatency)
+	}
+
+	if d := r.Baseline; d != nil {
+		fmt.Fprintf(w, "\nbaseline delta:")
+		if !d.Comparable {
+			fmt.Fprintf(w, " (workloads differ — not a regression signal)")
+		}
+		fmt.Fprintln(w)
+		row := func(label, unit string, dl Delta, scale float64) {
+			fmt.Fprintf(w, "  %-14s %12.1f -> %-12.1f %s  (%+.1f%%)\n",
+				label, dl.Old/scale, dl.New/scale, unit, dl.Pct)
+		}
+		row("measured rps", "req/s", d.MeasuredRPS, 1)
+		row("measured cost", "ms/req", d.MeasuredReqNs, 1e6)
+		row("virtual rps", "req/s", d.VirtualRPS, 1)
+		row("virtual p99", "ms", d.VirtualP99Ns, 1e6)
 	}
 	return nil
 }

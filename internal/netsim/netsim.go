@@ -210,6 +210,13 @@ func (p *Port) MAC() MAC { return p.mac }
 // exactly as on a real wire.
 func (p *Port) Send(f Frame) error {
 	f.Src = p.mac
+	// Copy the payload once at the wire boundary: the sender may reuse
+	// its marshal scratch as soon as Send returns, while delivery can be
+	// deferred (latency) or held back (fault reordering). Receivers
+	// never mutate delivered payloads, so every target shares this copy.
+	if f.Payload != nil {
+		f.Payload = append([]byte(nil), f.Payload...)
+	}
 	h := p.hub
 	h.mu.Lock()
 	if h.closed {
@@ -305,9 +312,9 @@ func (h *Hub) deliverLocked(deliveries []delivery) {
 			if q.closed {
 				continue
 			}
-			// Copy the payload so receiver and sender never alias.
+			// The payload was already copied at the Send boundary, so the
+			// frame can be fanned out to every target as-is.
 			cp := d.frame
-			cp.Payload = append([]byte(nil), d.frame.Payload...)
 			select {
 			case q.rx <- cp:
 				q.metrics.rxBytes.Add(uint64(len(cp.Payload)))

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is enabled, mirroring
+// the standard library's internal/race. Zero-allocation assertions use
+// it to skip under -race, where the detector's instrumentation adds
+// allocations of its own.
+package race
+
+// Enabled is true when the build has the race detector on.
+const Enabled = true

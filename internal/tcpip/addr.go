@@ -37,16 +37,27 @@ func checksum(data []byte) uint16 {
 }
 
 // pseudoChecksum computes the TCP/UDP checksum including the IPv4
-// pseudo-header.
+// pseudo-header. The pseudo-header words are folded in directly rather
+// than materializing a header+segment buffer, so the per-segment cost
+// is one pass over seg with no allocation or copy.
 func pseudoChecksum(proto byte, src, dst Addr, seg []byte) uint16 {
-	ph := make([]byte, 12+len(seg))
-	copy(ph[0:4], src[:])
-	copy(ph[4:8], dst[:])
-	ph[9] = proto
-	ph[10] = byte(len(seg) >> 8)
-	ph[11] = byte(len(seg))
-	copy(ph[12:], seg)
-	return checksum(ph)
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto)
+	sum += uint32(len(seg))
+	for i := 0; i+1 < len(seg); i += 2 {
+		sum += uint32(seg[i])<<8 | uint32(seg[i+1])
+	}
+	if len(seg)%2 == 1 {
+		sum += uint32(seg[len(seg)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
 }
 
 func be16(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }

@@ -75,7 +75,14 @@ func (s *Stack) handleARP(body []byte) {
 // sendIP routes an IP packet: resolve the destination MAC, queueing
 // behind an ARP request if unknown. Called with s.mu held.
 func (s *Stack) sendIP(dst Addr, proto byte, payload []byte) {
-	raw := marshalIP(ipPacket{src: s.ip, dst: dst, proto: proto, ttl: 64, payload: payload})
+	s.sendIPRaw(dst, marshalIP(ipPacket{src: s.ip, dst: dst, proto: proto, ttl: 64, payload: payload}))
+}
+
+// sendIPRaw routes an already-marshaled IP packet. Called with s.mu
+// held. raw may alias a caller's reusable scratch buffer: Port.Send
+// copies payloads at the wire boundary, and a packet parked behind
+// ARP resolution is copied before queueing.
+func (s *Stack) sendIPRaw(dst Addr, raw []byte) {
 	if mac, ok := s.arpCache[dst]; ok {
 		s.sendFrame(mac, netsim.EtherTypeIPv4, raw)
 		return
@@ -84,7 +91,7 @@ func (s *Stack) sendIP(dst Addr, proto byte, payload []byte) {
 	if len(pend) >= maxPendingARP {
 		return // drop; transport-level retransmission recovers
 	}
-	s.arpPending[dst] = append(pend, raw)
+	s.arpPending[dst] = append(pend, append([]byte(nil), raw...))
 	req := marshalARP(arpRequest, s.mac, s.ip, netsim.MAC{}, dst)
 	s.sendFrame(netsim.Broadcast, netsim.EtherTypeARP, req)
 }

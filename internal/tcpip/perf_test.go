@@ -1,0 +1,133 @@
+package tcpip
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/race"
+)
+
+// pseudoChecksumRef is the seed kernel's form: materialize the
+// pseudo-header + segment, then checksum the buffer.
+func pseudoChecksumRef(proto byte, src, dst Addr, seg []byte) uint16 {
+	ph := make([]byte, 12+len(seg))
+	copy(ph[0:4], src[:])
+	copy(ph[4:8], dst[:])
+	ph[9] = proto
+	ph[10] = byte(len(seg) >> 8)
+	ph[11] = byte(len(seg))
+	copy(ph[12:], seg)
+	return checksum(ph)
+}
+
+// TestPseudoChecksumEquivalence diffs the in-place pseudo-header sum
+// against the buffer-materializing reference, odd and even lengths.
+func TestPseudoChecksumEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	src := Addr{192, 168, 1, 10}
+	dst := Addr{192, 168, 1, 20}
+	for i := 0; i < 5_000; i++ {
+		seg := make([]byte, rng.Intn(1500))
+		rng.Read(seg)
+		got := pseudoChecksum(ProtoTCP, src, dst, seg)
+		want := pseudoChecksumRef(ProtoTCP, src, dst, seg)
+		if got != want {
+			t.Fatalf("vector %d (len %d): %#x != %#x", i, len(seg), got, want)
+		}
+	}
+}
+
+// TestAppendTCPIPMatchesMarshal diffs the single-pass segment marshal
+// against the seed kernel's marshalTCP-then-marshalIP pair over seeded
+// vectors, including scratch reuse across differently-sized payloads
+// (stale bytes must never leak).
+func TestAppendTCPIPMatchesMarshal(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	src := Addr{10, 0, 0, 1}
+	dst := Addr{10, 0, 0, 2}
+	var scratch []byte
+	for i := 0; i < 2_000; i++ {
+		seg := tcpSegment{
+			srcPort: uint16(rng.Uint32()),
+			dstPort: uint16(rng.Uint32()),
+			seq:     rng.Uint32(),
+			ack:     rng.Uint32(),
+			flags:   uint8(rng.Intn(32)),
+			window:  uint16(rng.Uint32()),
+			payload: make([]byte, rng.Intn(tcpMSS)),
+		}
+		rng.Read(seg.payload)
+		want := marshalIP(ipPacket{src: src, dst: dst, proto: ProtoTCP, ttl: 64,
+			payload: marshalTCP(src, dst, seg)})
+		scratch = appendTCPIP(scratch, src, dst, seg)
+		if !bytes.Equal(scratch, want) {
+			t.Fatalf("vector %d (payload %d): fast marshal differs from seed pair", i, len(seg.payload))
+		}
+		// And it must still parse back to the same segment.
+		p, err := parseIP(scratch)
+		if err != nil {
+			t.Fatalf("vector %d: parseIP: %v", i, err)
+		}
+		back, ok := parseTCP(p.payload)
+		if !ok {
+			t.Fatalf("vector %d: parseTCP failed", i)
+		}
+		if back.seq != seg.seq || back.ack != seg.ack || !bytes.Equal(back.payload, seg.payload) {
+			t.Fatalf("vector %d: round trip mismatch", i)
+		}
+	}
+}
+
+// TestSegmentMarshalParseZeroAlloc pins the per-segment allocation
+// contract: marshal into a warm scratch buffer and parse are both free.
+func TestSegmentMarshalParseZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	src := Addr{10, 0, 0, 1}
+	dst := Addr{10, 0, 0, 2}
+	seg := tcpSegment{srcPort: 1234, dstPort: 80, seq: 7, ack: 9,
+		flags: flagACK | flagPSH, window: 4096, payload: make([]byte, tcpMSS)}
+	scratch := appendTCPIP(nil, src, dst, seg) // warm to full size
+	if n := testing.AllocsPerRun(100, func() {
+		scratch = appendTCPIP(scratch, src, dst, seg)
+	}); n != 0 {
+		t.Errorf("appendTCPIP allocates %v per segment, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		p, err := parseIP(scratch)
+		if err != nil {
+			panic(err)
+		}
+		if _, ok := parseTCP(p.payload); !ok {
+			panic("parseTCP")
+		}
+	}); n != 0 {
+		t.Errorf("parseIP+parseTCP allocates %v per segment, want 0", n)
+	}
+}
+
+func BenchmarkSegmentMarshalFast(b *testing.B) {
+	src := Addr{10, 0, 0, 1}
+	dst := Addr{10, 0, 0, 2}
+	seg := tcpSegment{srcPort: 1234, dstPort: 80, seq: 7, ack: 9,
+		flags: flagACK, window: 4096, payload: make([]byte, tcpMSS)}
+	var scratch []byte
+	b.SetBytes(int64(ipHeaderLen + tcpHeaderLen + tcpMSS))
+	for i := 0; i < b.N; i++ {
+		scratch = appendTCPIP(scratch, src, dst, seg)
+	}
+}
+
+func BenchmarkSegmentMarshalSeed(b *testing.B) {
+	src := Addr{10, 0, 0, 1}
+	dst := Addr{10, 0, 0, 2}
+	seg := tcpSegment{srcPort: 1234, dstPort: 80, seq: 7, ack: 9,
+		flags: flagACK, window: 4096, payload: make([]byte, tcpMSS)}
+	b.SetBytes(int64(ipHeaderLen + tcpHeaderLen + tcpMSS))
+	for i := 0; i < b.N; i++ {
+		marshalIP(ipPacket{src: src, dst: dst, proto: ProtoTCP, ttl: 64,
+			payload: marshalTCP(src, dst, seg)})
+	}
+}

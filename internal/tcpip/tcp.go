@@ -111,6 +111,49 @@ func marshalTCP(src, dst Addr, seg tcpSegment) []byte {
 	return b
 }
 
+// appendTCPIP marshals the IP header and the TCP segment into buf's
+// backing array in a single pass — the per-segment fast path replacing
+// the marshalTCP-then-marshalIP pair, which allocated twice and copied
+// the payload twice. The buffer is reused when its capacity suffices;
+// every header byte is written explicitly, so stale contents cannot
+// leak through. The returned packet is only valid until buf's next
+// reuse: transmission must copy (Port.Send does, at the wire
+// boundary) before the caller marshals again.
+func appendTCPIP(buf []byte, src, dst Addr, seg tcpSegment) []byte {
+	total := ipHeaderLen + tcpHeaderLen + len(seg.payload)
+	if cap(buf) < total {
+		buf = make([]byte, total)
+	} else {
+		buf = buf[:total]
+	}
+	ip := buf[:ipHeaderLen]
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = 0
+	put16(ip[2:], uint16(total))
+	put16(ip[4:], 0) // identification
+	put16(ip[6:], 0) // flags / fragment offset
+	ip[8] = 64       // TTL, as sendIP uses
+	ip[9] = ProtoTCP
+	put16(ip[10:], 0)
+	copy(ip[12:16], src[:])
+	copy(ip[16:20], dst[:])
+	put16(ip[10:], checksum(ip))
+
+	t := buf[ipHeaderLen:]
+	put16(t[0:], seg.srcPort)
+	put16(t[2:], seg.dstPort)
+	put32(t[4:], seg.seq)
+	put32(t[8:], seg.ack)
+	t[12] = 5 << 4
+	t[13] = seg.flags
+	put16(t[14:], seg.window)
+	put16(t[16:], 0) // checksum, filled below
+	put16(t[18:], 0) // urgent pointer
+	copy(t[tcpHeaderLen:], seg.payload)
+	put16(t[16:], pseudoChecksum(ProtoTCP, src, dst, t))
+	return buf
+}
+
 func parseTCP(b []byte) (tcpSegment, bool) {
 	if len(b) < tcpHeaderLen {
 		return tcpSegment{}, false
@@ -178,6 +221,11 @@ type TCB struct {
 
 	// onEstablished fires when SYN_RCVD completes (listener delivery).
 	onEstablished func(*TCB)
+
+	// txScratch is the reusable segment marshal buffer (guarded by
+	// t.mu, like every send call); Port.Send copies at the wire
+	// boundary, so reuse on the next segment is safe.
+	txScratch []byte
 }
 
 func newTCB(s *Stack) *TCB {
@@ -231,10 +279,10 @@ func (t *TCB) send(seg tcpSegment) {
 	seg.srcPort = t.localPort
 	seg.dstPort = t.remotePort
 	seg.window = advertisedWnd
-	raw := marshalTCP(t.stack.ip, t.remoteIP, seg)
+	t.txScratch = appendTCPIP(t.txScratch, t.stack.ip, t.remoteIP, seg)
 	t.stack.metrics.segsSent.Inc()
 	t.stack.mu.Lock()
-	t.stack.sendIP(t.remoteIP, ProtoTCP, raw)
+	t.stack.sendIPRaw(t.remoteIP, t.txScratch)
 	t.stack.mu.Unlock()
 }
 
