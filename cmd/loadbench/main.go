@@ -42,6 +42,13 @@ func main() {
 		jsonPath    = flag.String("json", "BENCH_load.json", "report output path (empty = skip)")
 		baseline    = flag.String("baseline", "", "prior report to diff against (empty = the -json path's current contents, if any)")
 		smoke       = flag.Bool("smoke", false, "small fixed workload for CI (overrides sizing flags)")
+
+		instances    = flag.Int("instances", 1, "redirector instances behind the L4 balancer (1 = no cluster)")
+		policy       = flag.String("policy", "hash", "balancer policy: hash | least")
+		killNode     = flag.Int("kill-node", 0, "cluster node to kill mid-load (with -kill-at)")
+		killAt       = flag.Duration("kill-at", 0, "kill -kill-node this long into the run (0 = no kill)")
+		restartAfter = flag.Duration("restart-after", 0, "restart the killed node this long after the kill (0 = stays down)")
+		retries      = flag.Int("request-retries", 0, "per-request transport-failure retries (fresh connection each)")
 	)
 	flag.Parse()
 
@@ -64,6 +71,16 @@ func main() {
 		HubLatency:    *latency,
 		Plain:         *plain,
 		Wall:          *wall,
+	}
+	if *instances > 1 {
+		cfg.Instances = *instances
+		cfg.Policy = *policy
+		cfg.RequestRetries = *retries
+		if *killAt > 0 {
+			cfg.KillNode = *killNode
+			cfg.KillAfter = *killAt
+			cfg.RestartAfter = *restartAfter
+		}
 	}
 	if *churn == 0 {
 		cfg.KeepConnections()

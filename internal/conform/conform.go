@@ -134,6 +134,7 @@ func suite(opt Options) []check {
 		{"prng/golden-ansi-c", "crypto", fixed(0), checkPRNGGolden},
 		{"isa/aes-cosim", "isa", func(o Options) int { return o.ISAPairs }, nil}, // bound at Run
 		{"proto/issl-handshake", "protocol", func(o Options) int { return o.ProtoVectors }, checkISSLHandshakeSweep},
+		{"proto/issl-ticket", "protocol", func(o Options) int { return o.ProtoVectors }, checkISSLTicketSeal},
 		{"proto/tcpip-ingress", "protocol", func(o Options) int { return o.ProtoVectors }, checkTCPIPIngressSweep},
 		{"proto/dcc-compile", "protocol", func(o Options) int { return o.ProtoVectors }, checkDCCCompileSweep},
 	}

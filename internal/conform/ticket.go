@@ -1,0 +1,133 @@
+package conform
+
+// Sealed-ticket differential check: internal/issl's ticket seal/open
+// is diffed against an independent oracle built from the stdlib
+// (crypto/aes, crypto/cipher, crypto/hmac, crypto/sha1) following the
+// wire spec in internal/issl/ticket.go:
+//
+//	ticket = version(1) keyID(4) iv(16) ct(16k) mac(20)
+//	state  = expiry_unix_sec(8 BE) masterLen(1) master(20)
+//
+// Both directions are exercised: the internal Seal must emit bytes
+// identical to the oracle construction (given the same IV), and a
+// ticket minted entirely by the oracle must open through the internal
+// path to the same master secret. Tampered and expired oracle tickets
+// must be rejected with the typed ErrTicket family — the rejection
+// path is what lets a cluster client degrade to a full handshake
+// instead of erroring out.
+
+import (
+	stdaes "crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	stdsha1 "crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/issl"
+)
+
+// oracleTicketKeys derives the per-purpose sealing keys from shared
+// material exactly as the spec prescribes, stdlib only.
+func oracleTicketKeys(material []byte) (encKey, macKey, keyID []byte) {
+	h := func(label string) []byte {
+		m := hmac.New(stdsha1.New, material)
+		m.Write([]byte(label))
+		return m.Sum(nil)
+	}
+	return h("ticket enc")[:16], h("ticket mac"), h("ticket id")[:4]
+}
+
+// oracleSeal mints a complete ticket with stdlib crypto: PKCS#7-padded
+// state under AES-128-CBC, then HMAC-SHA1 over version||keyID||iv||ct.
+func oracleSeal(material, master []byte, expiryUnix int64, iv []byte) []byte {
+	encKey, macKey, keyID := oracleTicketKeys(material)
+	state := make([]byte, 9, 9+len(master))
+	binary.BigEndian.PutUint64(state[:8], uint64(expiryUnix))
+	state[8] = byte(len(master))
+	state = append(state, master...)
+	pad := stdaes.BlockSize - len(state)%stdaes.BlockSize
+	for i := 0; i < pad; i++ {
+		state = append(state, byte(pad))
+	}
+	blk, err := stdaes.NewCipher(encKey)
+	if err != nil {
+		panic(err) // 16-byte derived key; cannot happen
+	}
+	ct := make([]byte, len(state))
+	cipher.NewCBCEncrypter(blk, iv).CryptBlocks(ct, state)
+	t := []byte{issl.TicketVersion}
+	t = append(t, keyID...)
+	t = append(t, iv...)
+	t = append(t, ct...)
+	m := hmac.New(stdsha1.New, macKey)
+	m.Write(t)
+	return m.Sum(t)
+}
+
+const oracleTicketHeader = 1 + 4 + 16 // version keyID iv
+
+// checkISSLTicketSeal runs the two-way seal/open differential plus the
+// tamper and expiry rejection sweeps.
+func checkISSLTicketSeal(c *checkCtx) {
+	for c.vectors < c.budget {
+		material := randBytes(c.rng, 8+c.rng.Intn(24))
+		master := randBytes(c.rng, 20)
+		now := time.Unix(800_000_000+int64(c.rng.Intn(1<<30)), 0)
+		lifetime := time.Duration(1+c.rng.Intn(3600)) * time.Second
+		expiry := now.Add(lifetime).Unix()
+
+		ks, err := issl.NewTicketKeyStore(material, lifetime)
+		if err != nil {
+			c.vector()
+			c.failf("NewTicketKeyStore: %v", err)
+			continue
+		}
+		ks.SetNow(func() time.Time { return now })
+		ks.SetRand(prng.NewXorshift(c.rng.Uint64() | 1))
+
+		// Internal seal vs oracle construction. The IV is the store's to
+		// draw (its PRNG is prng/differential's problem); the oracle
+		// reuses it and every other byte must then agree.
+		sealed, err := ks.Seal(master)
+		if err != nil {
+			c.vector()
+			c.failf("Seal: %v", err)
+			continue
+		}
+		iv := sealed[5:oracleTicketHeader]
+		c.expect(sealed, oracleSeal(material, master, expiry, iv),
+			"seal(material=%x..)", material[:4])
+
+		// Oracle-minted ticket through the internal open path.
+		ot := oracleSeal(material, master, expiry, randBytes(c.rng, 16))
+		got, err := ks.Open(ot)
+		if err != nil {
+			c.vector()
+			c.failf("Open(oracle ticket): %v", err)
+		} else {
+			c.expect(got, master, "Open(oracle ticket) master")
+		}
+
+		// One flipped bit anywhere must be rejected, and with the typed
+		// error (version, key, or MAC — all wrap ErrTicket).
+		mut := append([]byte(nil), ot...)
+		mut[c.rng.Intn(len(mut))] ^= 1 << uint(c.rng.Intn(8))
+		c.vector()
+		if _, err := ks.Open(mut); err == nil {
+			c.failf("tampered ticket accepted")
+		} else if !errors.Is(err, issl.ErrTicket) {
+			c.failf("tampered ticket rejected with untyped error: %v", err)
+		}
+
+		// Strictly past the expiry second: rejected as expired (the
+		// boundary second itself is accepted; Open is inclusive).
+		exp := oracleSeal(material, master, now.Unix()-1, randBytes(c.rng, 16))
+		c.vector()
+		if _, err := ks.Open(exp); !errors.Is(err, issl.ErrTicketExpired) {
+			c.failf("expired oracle ticket: got %v, want ErrTicketExpired", err)
+		}
+	}
+}

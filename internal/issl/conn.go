@@ -56,6 +56,7 @@ type Conn struct {
 	failErr error
 
 	sessionID [SessionIDLen]byte
+	ticket    []byte // sealed session ticket issued by the server
 	resumed   bool
 
 	// Stats observable by benchmarks and tests.

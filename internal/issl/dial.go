@@ -59,11 +59,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 
 // DialStats counts what reconnection cost.
 type DialStats struct {
-	Attempts       uint64 // transport dials attempted
-	DialFailures   uint64 // transport dials that failed
-	HandshakeFails uint64 // transports that connected but failed to bind
-	FullHandshakes uint64 // successful binds that ran the full handshake
-	Resumptions    uint64 // successful binds via abbreviated resumption
+	Attempts        uint64 // transport dials attempted
+	DialFailures    uint64 // transport dials that failed
+	HandshakeFails  uint64 // transports that connected but failed to bind
+	FullHandshakes  uint64 // successful binds that ran the full handshake
+	Resumptions     uint64 // successful binds via abbreviated resumption
+	ResumeFallbacks uint64 // resumption offers that degraded to a full handshake
 }
 
 // Dialer reconnects an issl client across transport failures, keeping
@@ -96,11 +97,15 @@ func (d *Dialer) ForgetSession() { d.session = nil }
 
 // DialWithRetry dials and binds until one attempt yields a live secure
 // connection or the policy's attempts are exhausted. Each attempt
-// offers the cached session for abbreviated resumption; the server
-// falls back to a full handshake on its own if its cache entry is
-// gone, and a handshake-level failure drops the cached session so the
-// next attempt starts clean. The returned transport is owned by the
-// caller (close it after the Conn).
+// offers the cached session — sealed ticket preferred — for
+// abbreviated resumption. A rejected offer is not an error and does
+// not consume a retry slot: when the server declines on its own
+// (stale ticket, evicted cache entry) the same connection completes a
+// full handshake; when the offer poisons the handshake outright, the
+// same attempt immediately re-dials clean and runs the full handshake
+// before any backoff. Both degradations increment ResumeFallbacks and
+// the issl.resume_fallback counter. The returned transport is owned by
+// the caller (close it after the Conn).
 func (d *Dialer) DialWithRetry() (*Conn, io.ReadWriteCloser, error) {
 	if d.Dial == nil {
 		return nil, nil, fmt.Errorf("%w: Dialer needs a Dial function", ErrConfig)
@@ -110,6 +115,7 @@ func (d *Dialer) DialWithRetry() (*Conn, io.ReadWriteCloser, error) {
 	if sleep == nil {
 		sleep = time.Sleep
 	}
+	fallbacks := d.Config.Metrics.Counter("issl.resume_fallback")
 	delay := pol.BaseDelay
 	var lastErr error
 	for attempt := 1; ; attempt++ {
@@ -119,25 +125,48 @@ func (d *Dialer) DialWithRetry() (*Conn, io.ReadWriteCloser, error) {
 			cfg := d.Config
 			cfg.Resume = d.session
 			conn, herr := BindClient(tr, cfg)
-			if herr == nil {
+			if herr != nil && cfg.Resume != nil {
+				// The resumption offer may itself be what failed (stale
+				// cache, desynced state). That is the server's problem to
+				// decline, not ours to pay a retry slot for: drop the
+				// session and run the full handshake within this same
+				// attempt, on a fresh transport, before any backoff.
+				tr.Close()
+				d.session = nil
+				d.stats.ResumeFallbacks++
+				fallbacks.Inc()
+				if tr, err = d.Dial(); err == nil {
+					cfg.Resume = nil
+					conn, herr = BindClient(tr, cfg)
+				}
+			}
+			if err == nil && herr == nil {
 				if conn.Resumed() {
 					d.stats.Resumptions++
 				} else {
 					d.stats.FullHandshakes++
+					if cfg.Resume != nil {
+						// We offered, the server declined and completed a
+						// full handshake instead: a graceful server-side
+						// fallback (its rejection telemetry says why).
+						d.stats.ResumeFallbacks++
+						fallbacks.Inc()
+						d.session = nil
+					}
 				}
 				if s := conn.Session(); s != nil {
 					d.session = s
 				}
 				return conn, tr, nil
 			}
-			tr.Close()
-			if cfg.Resume != nil {
-				// The resumption offer may itself be what failed (stale
-				// cache, desynced state): next attempt goes in clean.
-				d.session = nil
+			if err == nil {
+				tr.Close()
+				d.stats.HandshakeFails++
+				lastErr = herr
+			} else {
+				d.stats.DialFailures++
+				lastErr = err
 			}
-			d.stats.HandshakeFails++
-			lastErr = herr
 		} else {
 			d.stats.DialFailures++
 			lastErr = err

@@ -12,13 +12,23 @@ import (
 // Handshake messages (bodies of recHandshake records):
 //
 //	ClientHello:  0x01 profile keyBits/8 blockBits/8 clientRandom(32)
-//	              sidLen(1) [sessionID(16)]
+//	              sidLen(1) [sessionID(16)] [tktLen(2) ticket]
 //	ServerHello:  0x02 profile keyBits/8 blockBits/8 serverRandom(32)
-//	              resumed(1) sidLen(1) [sessionID(16)]
+//	              resumed(1) sidLen(1) [sessionID(16)] tktPromise(1)
 //	              [Unix full handshake: eLen(2) e nLen(2) n]
 //	KeyExchange:  0x03 [Unix: ctLen(2) rsaCiphertext] [Embedded: empty]
 //	              (omitted entirely on resumption)
 //	Finished:     0x04 verify(20)   — first message under the new keys
+//	NewSessionTicket: 0x05 tktLen(2) ticket — sealed under the new
+//	              keys, sent after the server's Finished when the
+//	              ServerHello promised one (tktPromise=1). Not part of
+//	              the Finished transcript; the record MAC covers it.
+//
+// The ticket fields are extensions over the original format: a server
+// tolerates a ClientHello without the ticket tail, so transcripts from
+// older corpora still parse. A client-offered ticket is the preferred
+// resumption path — it works on any cluster instance — with the
+// session-ID cache as the per-instance fallback.
 //
 // Key schedule: master = HMAC(premaster, "master"||cr||sr); per
 // direction, writeKey = expand(master, "c key"/"s key")[:keyBytes] and
@@ -31,6 +41,7 @@ const (
 	msgServerHello = 0x02
 	msgKeyExchange = 0x03
 	msgFinished    = 0x04
+	msgNewTicket   = 0x05
 )
 
 const randomLen = 32
@@ -76,11 +87,23 @@ func (c *Conn) clientHandshake() error {
 
 	hello := []byte{msgClientHello, byte(cfg.Profile), bitsByte(cfg.KeyBits), bitsByte(cfg.BlockBits)}
 	hello = append(hello, c.hs.clientRandom[:]...)
+	offeredTicket := false
 	if cfg.Resume != nil {
-		hello = append(hello, SessionIDLen)
-		hello = append(hello, cfg.Resume.ID[:]...)
+		if cfg.Resume.ID != ([SessionIDLen]byte{}) {
+			hello = append(hello, SessionIDLen)
+			hello = append(hello, cfg.Resume.ID[:]...)
+		} else {
+			hello = append(hello, 0)
+		}
+		if n := len(cfg.Resume.Ticket); n > 0 && n <= MaxTicketLen {
+			offeredTicket = true
+			hello = append(hello, byte(n>>8), byte(n))
+			hello = append(hello, cfg.Resume.Ticket...)
+		} else {
+			hello = append(hello, 0, 0)
+		}
 	} else {
-		hello = append(hello, 0)
+		hello = append(hello, 0, 0, 0) // no session ID, no ticket
 	}
 	if err := c.sendHandshake(hello); err != nil {
 		return fmt.Errorf("%w: sending ClientHello: %v", ErrHandshake, err)
@@ -90,7 +113,7 @@ func (c *Conn) clientHandshake() error {
 	if err != nil {
 		return err
 	}
-	if len(sh) < 4+randomLen+2 {
+	if len(sh) < 4+randomLen+3 {
 		return fmt.Errorf("%w: short ServerHello", ErrHandshake)
 	}
 	if Profile(sh[1]) != cfg.Profile {
@@ -112,9 +135,18 @@ func (c *Conn) clientHandshake() error {
 		copy(c.sessionID[:], rest[:sidLen])
 		rest = rest[sidLen:]
 	}
+	if len(rest) < 1 {
+		return fmt.Errorf("%w: truncated ServerHello", ErrHandshake)
+	}
+	ticketPromised := rest[0] == 1
+	rest = rest[1:]
 	phaseStart := c.emitPhase("client", "hello", resumedFlag, hsStart)
 	if resumedFlag {
-		if cfg.Resume == nil || c.sessionID != cfg.Resume.ID {
+		// A resumption is legitimate when it matches our offer: either
+		// the session ID we sent (cache path, sid echoed) or the ticket
+		// we sent (stateless path, no sid needed).
+		sidMatch := cfg.Resume != nil && sidLen > 0 && c.sessionID == cfg.Resume.ID
+		if cfg.Resume == nil || (!sidMatch && !offeredTicket) {
 			return fmt.Errorf("%w: server resumed a session we did not offer", ErrHandshake)
 		}
 		// Abbreviated handshake: no KeyExchange; fresh keys derive
@@ -129,6 +161,14 @@ func (c *Conn) clientHandshake() error {
 		}
 		if err := c.recvFinished("server finished"); err != nil {
 			return err
+		}
+		if ticketPromised {
+			if err := c.recvNewTicket(); err != nil {
+				return err
+			}
+		} else if cfg.Resume != nil {
+			// Keep resuming on the same ticket next time.
+			c.ticket = append([]byte(nil), cfg.Resume.Ticket...)
 		}
 		c.emitPhase("client", "finished", true, phaseStart)
 		return nil
@@ -168,7 +208,58 @@ func (c *Conn) clientHandshake() error {
 	if err := c.recvFinished("server finished"); err != nil {
 		return err
 	}
+	if ticketPromised {
+		if err := c.recvNewTicket(); err != nil {
+			return err
+		}
+	}
 	c.emitPhase("client", "finished", false, phaseStart)
+	return nil
+}
+
+// recvNewTicket reads the sealed NewSessionTicket message the
+// ServerHello promised and stores the ticket for Session().
+func (c *Conn) recvNewTicket() error {
+	recType, body, err := c.readRecord()
+	if err != nil {
+		return fmt.Errorf("%w: reading NewSessionTicket: %v", ErrHandshake, err)
+	}
+	if recType != recHandshake {
+		return fmt.Errorf("%w: expected NewSessionTicket, got record %#x", ErrHandshake, recType)
+	}
+	pt, err := c.openRecord(recHandshake, body)
+	if err != nil {
+		return fmt.Errorf("%w: opening NewSessionTicket: %v", ErrHandshake, err)
+	}
+	if len(pt) < 3 || pt[0] != msgNewTicket {
+		return fmt.Errorf("%w: malformed NewSessionTicket", ErrHandshake)
+	}
+	n := int(pt[1])<<8 | int(pt[2])
+	if n == 0 || n > MaxTicketLen || len(pt) != 3+n {
+		return fmt.Errorf("%w: NewSessionTicket length %d", ErrHandshake, n)
+	}
+	c.ticket = append([]byte(nil), pt[3:3+n]...)
+	return nil
+}
+
+// sendNewTicket mints a ticket over the connection's master secret and
+// sends it sealed under the new keys (server side, after Finished).
+func (c *Conn) sendNewTicket() error {
+	tkt, err := c.cfg.TicketKeys.Seal(c.master)
+	if err != nil {
+		return fmt.Errorf("%w: sealing ticket: %v", ErrHandshake, err)
+	}
+	body := []byte{msgNewTicket, byte(len(tkt) >> 8), byte(len(tkt))}
+	body = append(body, tkt...)
+	sealed, err := c.sealRecord(recHandshake, body)
+	if err != nil {
+		return fmt.Errorf("%w: sealing NewSessionTicket: %v", ErrHandshake, err)
+	}
+	if err := c.writeRecord(recHandshake, sealed); err != nil {
+		return fmt.Errorf("%w: sending NewSessionTicket: %v", ErrHandshake, err)
+	}
+	c.ticket = tkt
+	c.metrics.ticketsIssued.Inc()
 	return nil
 }
 
@@ -202,28 +293,72 @@ func (c *Conn) serverHandshake() error {
 	cfg.KeyBits, cfg.BlockBits = wantKey, wantBlock
 	copy(c.hs.clientRandom[:], ch[4:4+randomLen])
 
-	// Did the client offer a session we still have cached?
+	// What did the client offer? A session ID (per-instance cache path),
+	// a sealed ticket (any-instance stateless path), both, or neither.
 	var offered [SessionIDLen]byte
 	offeredSession := false
+	var offeredTicket []byte
 	tail := ch[4+randomLen:]
-	if sidLen := int(tail[0]); sidLen == SessionIDLen && len(tail) >= 1+sidLen {
-		copy(offered[:], tail[1:1+sidLen])
-		offeredSession = true
+	if len(tail) >= 1 {
+		sidLen := int(tail[0])
+		if sidLen == SessionIDLen && len(tail) >= 1+sidLen {
+			copy(offered[:], tail[1:1+sidLen])
+			offeredSession = true
+		}
+		if sidLen == 0 || offeredSession {
+			tail = tail[1+sidLen:]
+			// Ticket extension: optional, so older hellos still parse.
+			if len(tail) >= 2 {
+				if n := int(tail[0])<<8 | int(tail[1]); n > 0 && n <= MaxTicketLen && len(tail) >= 2+n {
+					offeredTicket = tail[2 : 2+n]
+				}
+			}
+		}
 	}
+
+	// Resumption preference: the ticket first — it resumes on any
+	// instance, and a cluster client's cache entry usually lives on a
+	// different node — then the local session cache. Any ticket
+	// rejection (expired, retired key, tampered, future version)
+	// degrades to the next path, never to a handshake failure.
+	viaTicket := false
 	var cachedMaster []byte
-	if offeredSession && cfg.Cache != nil {
+	if len(offeredTicket) > 0 && cfg.TicketKeys != nil {
+		m, err := cfg.TicketKeys.Open(offeredTicket)
+		if err == nil {
+			cachedMaster, viaTicket = m, true
+			c.metrics.ticketsResumed.Inc()
+		} else {
+			c.metrics.ticketsRejected.Inc()
+			c.cfg.Trace.Emit("issl", "ticket.rejected", "err", err.Error())
+			cfg.logf("issl: ticket rejected, degrading: %v", err)
+		}
+	}
+	if cachedMaster == nil && offeredSession && cfg.Cache != nil {
 		cachedMaster, _ = cfg.Cache.get(offered)
 	}
 
 	c.rng.Fill(c.hs.serverRandom[:])
 	hello := []byte{msgServerHello, byte(cfg.Profile), bitsByte(cfg.KeyBits), bitsByte(cfg.BlockBits)}
 	hello = append(hello, c.hs.serverRandom[:]...)
+	promiseTicket := cfg.TicketKeys != nil
 	if cachedMaster != nil {
-		// Abbreviated handshake (Goldberg et al. session-key caching).
+		// Abbreviated handshake (Goldberg et al. session-key caching,
+		// or its stateless ticket form).
 		c.resumed = true
-		c.sessionID = offered
-		hello = append(hello, 1, SessionIDLen)
-		hello = append(hello, offered[:]...)
+		hello = append(hello, 1)
+		if viaTicket && !offeredSession {
+			hello = append(hello, 0) // no session ID to echo
+		} else {
+			c.sessionID = offered
+			hello = append(hello, SessionIDLen)
+			hello = append(hello, offered[:]...)
+		}
+		if promiseTicket {
+			hello = append(hello, 1)
+		} else {
+			hello = append(hello, 0)
+		}
 		if err := c.sendHandshake(hello); err != nil {
 			return fmt.Errorf("%w: sending ServerHello: %v", ErrHandshake, err)
 		}
@@ -238,6 +373,11 @@ func (c *Conn) serverHandshake() error {
 		if err := c.sendFinished("server finished"); err != nil {
 			return err
 		}
+		if promiseTicket {
+			if err := c.sendNewTicket(); err != nil {
+				return err
+			}
+		}
 		c.emitPhase("server", "finished", true, phaseStart)
 		return nil
 	}
@@ -246,6 +386,11 @@ func (c *Conn) serverHandshake() error {
 		c.rng.Fill(c.sessionID[:])
 		hello = append(hello, SessionIDLen)
 		hello = append(hello, c.sessionID[:]...)
+	} else {
+		hello = append(hello, 0)
+	}
+	if promiseTicket {
+		hello = append(hello, 1)
 	} else {
 		hello = append(hello, 0)
 	}
@@ -294,6 +439,11 @@ func (c *Conn) serverHandshake() error {
 	}
 	if err := c.sendFinished("server finished"); err != nil {
 		return err
+	}
+	if promiseTicket {
+		if err := c.sendNewTicket(); err != nil {
+			return err
+		}
 	}
 	c.emitPhase("server", "finished", false, phaseStart)
 	return nil

@@ -90,6 +90,13 @@ type Config struct {
 	Resume *Session
 	// Cache enables session issuance and resumption (server side).
 	Cache *SessionCache
+	// TicketKeys enables sealed session tickets (server side): every
+	// successful handshake issues a ticket sealed under the cluster-
+	// shared key, and a client-offered ticket is preferred over the
+	// Cache for resumption — it works on any instance holding the key,
+	// which is what makes a multi-redirector fleet resume statelessly
+	// (see ticket.go). Optional; nil disables tickets.
+	TicketKeys *TicketKeyStore
 	// HandshakeTimeout bounds the whole handshake when > 0: a peer that
 	// stalls mid-handshake (a half-open connection on a degraded wire)
 	// fails with ErrHandshakeTimeout instead of wedging the endpoint

@@ -22,9 +22,14 @@ import (
 const SessionIDLen = 16
 
 // Session is resumable handshake state, returned by Conn.Session on
-// the client and cached server-side in a SessionCache.
+// the client and cached server-side in a SessionCache. Ticket, when
+// present, is the server's sealed session ticket (see ticket.go): the
+// client offers it on reconnect and ANY server instance holding the
+// cluster ticket key can resume the session statelessly — the ID-based
+// path below needs the specific instance whose cache holds the entry.
 type Session struct {
 	ID     [SessionIDLen]byte
+	Ticket []byte
 	master []byte
 }
 
@@ -164,12 +169,16 @@ func (c *SessionCache) Remove(id [SessionIDLen]byte) {
 }
 
 // Session returns resumable state after a successful client handshake,
-// or nil when the server issued no session (cache disabled).
+// or nil when the server issued neither a session ID nor a ticket.
 func (c *Conn) Session() *Session {
-	if c.sessionID == ([SessionIDLen]byte{}) {
+	if c.sessionID == ([SessionIDLen]byte{}) && len(c.ticket) == 0 {
 		return nil
 	}
-	return &Session{ID: c.sessionID, master: append([]byte(nil), c.master...)}
+	return &Session{
+		ID:     c.sessionID,
+		Ticket: append([]byte(nil), c.ticket...),
+		master: append([]byte(nil), c.master...),
+	}
 }
 
 // Resumed reports whether this connection used an abbreviated

@@ -15,6 +15,9 @@ type connMetrics struct {
 	recordsOut        *telemetry.Counter
 	bytesIn           *telemetry.Counter
 	bytesOut          *telemetry.Counter
+	ticketsIssued     *telemetry.Counter
+	ticketsResumed    *telemetry.Counter
+	ticketsRejected   *telemetry.Counter
 }
 
 func newConnMetrics(reg *telemetry.Registry) connMetrics {
@@ -28,6 +31,9 @@ func newConnMetrics(reg *telemetry.Registry) connMetrics {
 		recordsOut:        reg.Counter("issl.records_out"),
 		bytesIn:           reg.Counter("issl.bytes_in"),
 		bytesOut:          reg.Counter("issl.bytes_out"),
+		ticketsIssued:     reg.Counter("issl.tickets_issued"),
+		ticketsResumed:    reg.Counter("issl.tickets_resumed"),
+		ticketsRejected:   reg.Counter("issl.tickets_rejected"),
 	}
 }
 

@@ -27,6 +27,7 @@ package loadgen
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -99,8 +100,28 @@ type Config struct {
 	// DefaultPayloads).
 	Payloads PayloadDist
 	// MaxInflight passes the redirector's admission bound through
-	// (0 = unbounded).
+	// (0 = unbounded; per instance in cluster mode).
 	MaxInflight int
+	// Instances runs the redirector as a fleet behind the L4 balancer
+	// (internal/cluster) when > 1: N instances, each with its own
+	// stack, session cache and telemetry registry, sharing only the
+	// sealed-ticket key material. 0 or 1 keeps the single redirector.
+	Instances int
+	// Policy selects the balancer policy: "hash" (consistent hash,
+	// default) or "least" (least inflight). Cluster mode only.
+	Policy string
+	// KillAfter kills instance KillNode that long into the measured
+	// run — the node-kill chaos plan (0 = no kill; cluster mode only).
+	// RestartAfter restarts it that long after the kill (0 = stays
+	// dead). The post-kill recovery time lands in the cluster report.
+	KillAfter    time.Duration
+	KillNode     int
+	RestartAfter time.Duration
+	// RequestRetries retries a failed request on a fresh connection
+	// (default 0: a failure counts immediately). A well-behaved client
+	// riding out a node kill sets this; byte-exactness violations are
+	// counted separately and are never retried away silently.
+	RequestRetries int
 	// CacheSessions bounds the server session cache (default
 	// 2*Clients); CacheShards its shard count (default
 	// issl.DefaultSessionShards).
@@ -161,6 +182,20 @@ func (cfg *Config) withDefaults() (*Config, error) {
 	if c.CacheShards <= 0 {
 		c.CacheShards = issl.DefaultSessionShards
 	}
+	if c.Instances < 0 {
+		return nil, fmt.Errorf("loadgen: Instances must be >= 0")
+	}
+	switch c.Policy {
+	case "", "hash", "least":
+	default:
+		return nil, fmt.Errorf("loadgen: unknown policy %q", c.Policy)
+	}
+	if c.Instances > 1 && (c.KillNode < 0 || c.KillNode >= c.Instances) {
+		return nil, fmt.Errorf("loadgen: KillNode %d out of range for %d instances", c.KillNode, c.Instances)
+	}
+	if c.RequestRetries < 0 {
+		return nil, fmt.Errorf("loadgen: RequestRetries must be >= 0")
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
 	}
@@ -193,6 +228,13 @@ func Run(cfg Config) (*Report, error) {
 		Secure:      !c.Plain,
 		Faulty:      c.Faults != nil,
 	}
+	if c.Instances > 1 {
+		rep.Instances = c.Instances
+		rep.Policy = c.Policy
+		if rep.Policy == "" {
+			rep.Policy = "hash"
+		}
+	}
 	if c.Mode == ModeOpen {
 		rep.RatePerSec = c.RatePerSec
 	}
@@ -221,6 +263,35 @@ type fleetCounters struct {
 	ok, errs, bytes             atomic.Uint64
 	dialAttempts, dialFailures  atomic.Uint64
 	fullHandshakes, resumptions atomic.Uint64
+	resumeFallbacks             atomic.Uint64
+	mismatches                  atomic.Uint64 // byte-exactness violations (never retried away)
+	retries                     atomic.Uint64 // requests that needed a fresh-connection retry
+}
+
+// killState tracks the node-kill chaos timeline: when the kill landed
+// and when the fleet first completed a request afterwards — the
+// service-level recovery bound the cluster report publishes.
+type killState struct {
+	killedAt atomic.Int64 // unix ns; 0 = not (yet) killed
+	firstOk  atomic.Int64 // unix ns of first success after the kill
+}
+
+func (ks *killState) noteOK() {
+	if ks == nil {
+		return
+	}
+	if ks.killedAt.Load() != 0 && ks.firstOk.Load() == 0 {
+		ks.firstOk.CompareAndSwap(0, time.Now().UnixNano())
+	}
+}
+
+// recoveryNs returns the kill -> first-success gap, if both happened.
+func (ks *killState) recoveryNs() uint64 {
+	ka, fo := ks.killedAt.Load(), ks.firstOk.Load()
+	if ka == 0 || fo == 0 || fo < ka {
+		return 0
+	}
+	return uint64(fo - ka)
 }
 
 // runReal executes the plan against the live vertical: hub, three
@@ -261,6 +332,14 @@ func runReal(cfg *Config, p *plan) (*MeasuredReport, error) {
 		return nil, err
 	}
 
+	if cfg.Instances > 1 {
+		// The mid stack at 10.0.0.2 goes unused in cluster mode — the
+		// balancer takes that address so the client fleet cannot tell
+		// one redirector from a fleet of them.
+		mid.Close()
+		return runRealCluster(cfg, p, hub, cli, back)
+	}
+
 	rcfg := redirector.Config{
 		ListenPort:   redirectorPort,
 		Target:       back.Addr(),
@@ -287,33 +366,15 @@ func runReal(cfg *Config, p *plan) (*MeasuredReport, error) {
 	go srv.Serve()
 	defer srv.Close()
 
-	var (
-		fc       fleetCounters
-		wallHist *telemetry.HDRHistogram
-		wallLog2 *telemetry.Histogram
-	)
-	if cfg.Wall {
-		wallHist = telemetry.NewHDRHistogram()
-		wallLog2 = reg.Histogram("loadgen.latency_wall_ns")
-	}
-	sem := make(chan struct{}, cfg.Concurrency)
-	start := time.Now()
-
-	var wg sync.WaitGroup
-	for ci := range p.clients {
-		wg.Add(1)
-		go func(ci int) {
-			defer wg.Done()
-			runClient(cfg, cli, &p.clients[ci], ci, sem, start, &fc, wallHist, wallLog2)
-		}(ci)
-	}
-	wg.Wait()
-	wall := time.Since(start)
+	fc, wall, wallHist := runFleet(cfg, cli, p, nil)
 
 	m := &MeasuredReport{
 		DurationNs:        uint64(wall.Nanoseconds()),
 		Requests:          fc.ok.Load(),
 		Errors:            fc.errs.Load(),
+		EchoMismatches:    fc.mismatches.Load(),
+		Retries:           fc.retries.Load(),
+		ResumeFallbacks:   fc.resumeFallbacks.Load(),
 		BytesEchoed:       fc.bytes.Load(),
 		HandshakesFull:    reg.Counter("issl.handshakes_full").Value(),
 		HandshakesResumed: reg.Counter("issl.handshakes_resumed").Value(),
@@ -332,6 +393,34 @@ func runReal(cfg *Config, p *plan) (*MeasuredReport, error) {
 		m.WallLatency = &pct
 	}
 	return m, nil
+}
+
+// runFleet launches the virtual-client fleet against the service at
+// 10.0.0.2 and waits it out. ks (optional) observes the node-kill
+// timeline for the recovery bound.
+func runFleet(cfg *Config, cli *tcpip.Stack, p *plan, ks *killState) (*fleetCounters, time.Duration, *telemetry.HDRHistogram) {
+	var (
+		fc       fleetCounters
+		wallHist *telemetry.HDRHistogram
+		wallLog2 *telemetry.Histogram
+	)
+	if cfg.Wall {
+		wallHist = telemetry.NewHDRHistogram()
+		wallLog2 = cfg.Registry.Histogram("loadgen.latency_wall_ns")
+	}
+	sem := make(chan struct{}, cfg.Concurrency)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for ci := range p.clients {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			runClient(cfg, cli, &p.clients[ci], ci, sem, start, &fc, wallHist, wallLog2, ks)
+		}(ci)
+	}
+	wg.Wait()
+	return &fc, time.Since(start), wallHist
 }
 
 // startBackend serves plaintext echo until its stack closes.
@@ -373,7 +462,7 @@ const requestTimeout = 60 * time.Second
 // runClient executes one client's planned request sequence.
 func runClient(cfg *Config, stack *tcpip.Stack, cp *clientPlan, ci int,
 	sem chan struct{}, start time.Time, fc *fleetCounters,
-	wallHist *telemetry.HDRHistogram, wallLog2 *telemetry.Histogram) {
+	wallHist *telemetry.HDRHistogram, wallLog2 *telemetry.Histogram, ks *killState) {
 
 	d := &issl.Dialer{
 		Dial: func() (io.ReadWriteCloser, error) {
@@ -419,10 +508,8 @@ func runClient(cfg *Config, stack *tcpip.Stack, cp *clientPlan, ci int,
 			}
 		}
 
-		sem <- struct{}{} // closed-loop width / open-loop safety bound
-		reqStart := time.Now()
-		err := func() error {
-			if rp.fresh {
+		attempt := func(fresh, first bool) error {
+			if fresh {
 				closeConn()
 				if cfg.Plain {
 					tcb, err := stack.Connect(tcpip.IP4(10, 0, 0, 2), redirectorPort, 10*time.Second)
@@ -434,7 +521,7 @@ func runClient(cfg *Config, stack *tcpip.Stack, cp *clientPlan, ci int,
 					fc.dialAttempts.Add(1)
 					plainTCB = tcb
 				} else {
-					if rp.forget {
+					if rp.forget && first {
 						d.ForgetSession()
 					}
 					before := d.Stats()
@@ -447,18 +534,36 @@ func runClient(cfg *Config, stack *tcpip.Stack, cp *clientPlan, ci int,
 					}
 					fc.fullHandshakes.Add(after.FullHandshakes - before.FullHandshakes)
 					fc.resumptions.Add(after.Resumptions - before.Resumptions)
+					fc.resumeFallbacks.Add(after.ResumeFallbacks - before.ResumeFallbacks)
 					conn, tr = c, t
 				}
 			}
 			return echoOnce(conn, plainTCB, ci, ri, rp.payload)
-		}()
+		}
+
+		sem <- struct{}{} // closed-loop width / open-loop safety bound
+		reqStart := time.Now()
+		err := attempt(rp.fresh, true)
+		// A well-behaved client rides out a dying connection (a killed
+		// node, a mid-transfer abort) by retrying on a fresh one — but
+		// an echo MISMATCH is corruption, counted and never retried:
+		// retrying it away would hide exactly the defect the byte-exact
+		// check exists to catch.
+		for try := 0; err != nil && !errors.Is(err, errEchoMismatch) && try < cfg.RequestRetries; try++ {
+			fc.retries.Add(1)
+			err = attempt(true, false)
+		}
 		<-sem
 
 		if err != nil {
+			if errors.Is(err, errEchoMismatch) {
+				fc.mismatches.Add(1)
+			}
 			fc.errs.Add(1)
 			closeConn() // a failed request poisons the connection
 			continue
 		}
+		ks.noteOK()
 		fc.ok.Add(1)
 		fc.bytes.Add(uint64(rp.payload))
 		if wallHist != nil {
@@ -507,7 +612,12 @@ func echoOnce(conn *issl.Conn, tcb *tcpip.TCB, ci, ri, size int) error {
 		}
 	}
 	if !bytes.Equal(got, payload) {
-		return fmt.Errorf("loadgen: echo mismatch for client %d request %d (%d bytes)", ci, ri, size)
+		return fmt.Errorf("%w for client %d request %d (%d bytes)", errEchoMismatch, ci, ri, size)
 	}
 	return nil
 }
+
+// errEchoMismatch marks a byte-exactness violation: data came back,
+// but wrong. Distinguished from transport failures because it is never
+// retried and the chaos gates assert it stays at zero.
+var errEchoMismatch = errors.New("loadgen: echo mismatch")

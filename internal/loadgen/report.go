@@ -56,16 +56,68 @@ type MeasuredReport struct {
 	RPS               float64      `json:"rps"`
 	Requests          uint64       `json:"requests"`
 	Errors            uint64       `json:"errors"`
+	EchoMismatches    uint64       `json:"echo_mismatches"`
+	Retries           uint64       `json:"request_retries,omitempty"`
+	ResumeFallbacks   uint64       `json:"resume_fallbacks,omitempty"`
 	BytesEchoed       uint64       `json:"bytes_echoed"`
 	HandshakesFull    uint64       `json:"handshakes_full"`
 	HandshakesResumed uint64       `json:"handshakes_resumed"`
 	HandshakesFailed  uint64       `json:"handshakes_failed"`
+	TicketsIssued     uint64       `json:"tickets_issued,omitempty"`
+	TicketsResumed    uint64       `json:"tickets_resumed,omitempty"`
+	TicketsRejected   uint64       `json:"tickets_rejected,omitempty"`
 	Accepted          uint64       `json:"accepted"`
 	Refused           uint64       `json:"refused"`
 	AdmissionRefused  uint64       `json:"admission_refused"`
 	DialAttempts      uint64       `json:"dial_attempts"`
 	DialFailures      uint64       `json:"dial_failures"`
 	WallLatency       *Percentiles `json:"wall_latency,omitempty"`
+
+	// PerInstance breaks the server-side counters down by fleet
+	// instance (cluster mode only) — the per-instance SLO view.
+	PerInstance []InstanceReport `json:"per_instance,omitempty"`
+	// Cluster is the balancer's verdict on the run (cluster mode only).
+	Cluster *ClusterReport `json:"cluster,omitempty"`
+}
+
+// InstanceReport is one fleet instance's share of the work, read from
+// its private telemetry registry.
+type InstanceReport struct {
+	Node              int    `json:"node"`
+	Up                bool   `json:"up"` // health verdict at run end
+	Accepted          uint64 `json:"accepted"`
+	Refused           uint64 `json:"refused"`
+	AdmissionRefused  uint64 `json:"admission_refused,omitempty"`
+	DrainedConns      uint64 `json:"drained_conns,omitempty"`
+	HandshakesFull    uint64 `json:"handshakes_full"`
+	HandshakesResumed uint64 `json:"handshakes_resumed"`
+	HandshakesFailed  uint64 `json:"handshakes_failed,omitempty"`
+	TicketsIssued     uint64 `json:"tickets_issued"`
+	TicketsResumed    uint64 `json:"tickets_resumed"`
+	TicketsRejected   uint64 `json:"tickets_rejected,omitempty"`
+	BytesForward      uint64 `json:"bytes_forward"`
+	BytesBackward     uint64 `json:"bytes_backward"`
+}
+
+// ClusterReport is the L4 balancer's summary: how traffic spread, what
+// failed over, and — under the node-kill plan — how fast the fleet
+// recovered.
+type ClusterReport struct {
+	Instances  int    `json:"instances"`
+	Policy     string `json:"policy"`
+	Balanced   uint64 `json:"balanced"`  // connections spliced to a node
+	Refused    uint64 `json:"refused"`   // connections no node would take
+	Failovers  uint64 `json:"failovers"` // candidates skipped on connect failure
+	NodeDowns  uint64 `json:"node_downs"`
+	NodeUps    uint64 `json:"node_ups"`
+	NodesUpEnd int    `json:"nodes_up_end"`
+	// KilledNode is the chaos plan's victim (-1 when no kill ran).
+	KilledNode     int    `json:"killed_node"`
+	KillAfterNs    uint64 `json:"kill_after_ns,omitempty"`
+	RestartAfterNs uint64 `json:"restart_after_ns,omitempty"`
+	// RecoveryNs is kill -> first subsequent successful request across
+	// the fleet: the service-level recovery bound.
+	RecoveryNs uint64 `json:"recovery_ns,omitempty"`
 }
 
 // Delta is one before/after pair from a baseline comparison. Pct is
@@ -114,6 +166,8 @@ type Report struct {
 	MaxInflight int     `json:"max_inflight"`
 	Secure      bool    `json:"secure"`
 	Faulty      bool    `json:"faulty"`
+	Instances   int     `json:"instances,omitempty"`
+	Policy      string  `json:"policy,omitempty"`
 
 	Virtual  VirtualReport  `json:"virtual"`
 	Measured MeasuredReport `json:"measured"`
@@ -204,8 +258,43 @@ func (r *Report) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "  server         %12d accepted, %d refused (%d admission)\n",
 		m.Accepted, m.Refused, m.AdmissionRefused)
 	fmt.Fprintf(w, "  dials          %12d attempts, %d failures\n", m.DialAttempts, m.DialFailures)
+	if m.EchoMismatches > 0 || m.Retries > 0 || m.ResumeFallbacks > 0 {
+		fmt.Fprintf(w, "  degradations   %12d echo mismatches, %d request retries, %d resume fallbacks\n",
+			m.EchoMismatches, m.Retries, m.ResumeFallbacks)
+	}
+	if m.TicketsIssued > 0 || m.TicketsResumed > 0 || m.TicketsRejected > 0 {
+		fmt.Fprintf(w, "  tickets        %12d issued, %d resumed, %d rejected\n",
+			m.TicketsIssued, m.TicketsResumed, m.TicketsRejected)
+	}
 	if m.WallLatency != nil {
 		writePct(w, "  wall latency", *m.WallLatency)
+	}
+
+	if c := m.Cluster; c != nil {
+		fmt.Fprintf(w, "\ncluster (%d instances, %s policy):\n", c.Instances, c.Policy)
+		fmt.Fprintf(w, "  balancer       %12d balanced, %d refused, %d failovers\n",
+			c.Balanced, c.Refused, c.Failovers)
+		fmt.Fprintf(w, "  health         %12d downs, %d reinstatements, %d/%d up at end\n",
+			c.NodeDowns, c.NodeUps, c.NodesUpEnd, c.Instances)
+		if c.KilledNode >= 0 {
+			fmt.Fprintf(w, "  chaos          node %d killed at %.2fs", c.KilledNode, float64(c.KillAfterNs)/1e9)
+			if c.RestartAfterNs > 0 {
+				fmt.Fprintf(w, ", restarted %.2fs later", float64(c.RestartAfterNs)/1e9)
+			}
+			if c.RecoveryNs > 0 {
+				fmt.Fprintf(w, "; first post-kill success after %.1fms", float64(c.RecoveryNs)/1e6)
+			}
+			fmt.Fprintln(w)
+		}
+		for _, inst := range m.PerInstance {
+			state := "up"
+			if !inst.Up {
+				state = "down"
+			}
+			fmt.Fprintf(w, "  node %-2d %-4s   %12d accepted, hs %d full / %d resumed, tickets %d issued / %d resumed / %d rejected\n",
+				inst.Node, state, inst.Accepted, inst.HandshakesFull, inst.HandshakesResumed,
+				inst.TicketsIssued, inst.TicketsResumed, inst.TicketsRejected)
+		}
 	}
 
 	if d := r.Baseline; d != nil {

@@ -68,6 +68,17 @@ type Config struct {
 	// session get the abbreviated handshake. Optional; nil disables
 	// resumption, the pre-caching behavior.
 	SessionCache *issl.SessionCache
+	// TicketKeys enables sealed session tickets: every handshake
+	// issues a ticket under the cluster-shared key and a client-offered
+	// ticket resumes without any cache entry — the stateless form that
+	// lets any instance of a multi-redirector fleet resume any client.
+	// Optional; nil keeps cache-only resumption.
+	TicketKeys *issl.TicketKeyStore
+	// DrainTimeout bounds the graceful phase of Close: inflight
+	// connections get this long to finish on their own (counted in
+	// DrainedConns) before the remainder are aborted. 0 aborts
+	// immediately, the pre-drain behavior.
+	DrainTimeout time.Duration
 	// BackendAttempts caps backend connect attempts per client
 	// connection (default 3). A backend that restarts — or sits behind
 	// a flaky hub — gets a second chance before the client is refused.
@@ -107,6 +118,7 @@ type Stats struct {
 	BackendRetries   *telemetry.Counter // backend connect attempts beyond the first
 	BackendDown      *telemetry.Counter // clients refused because the backend stayed down
 	HalfCloses       *telemetry.Counter // one-directional EOFs propagated via half-close
+	DrainedConns     *telemetry.Counter // inflight connections that completed during a graceful drain
 }
 
 // newStats resolves the counters. A nil registry gets a private one so
@@ -125,6 +137,7 @@ func newStats(reg *telemetry.Registry) Stats {
 		BackendRetries:   reg.Counter("redirector.backend_retries"),
 		BackendDown:      reg.Counter("redirector.backend_down"),
 		HalfCloses:       reg.Counter("redirector.half_closes"),
+		DrainedConns:     reg.Counter("redirector.drained_conns"),
 	}
 }
 
@@ -305,13 +318,14 @@ func (s *UnixServer) handle(id uint64, tcb *tcpip.TCB) {
 	var client io.ReadWriteCloser = tcb
 	if s.cfg.Secure {
 		cfg := issl.Config{
-			Profile:   issl.ProfileUnix,
-			ServerKey: s.cfg.ServerKey,
-			Rand:      prng.NewXorshift(s.cfg.RandSeed ^ id),
-			Log:       s.cfg.Log,
-			Cache:     s.cfg.SessionCache,
-			Metrics:   s.cfg.Metrics,
-			Trace:     s.cfg.Trace,
+			Profile:    issl.ProfileUnix,
+			ServerKey:  s.cfg.ServerKey,
+			Rand:       prng.NewXorshift(s.cfg.RandSeed ^ id),
+			Log:        s.cfg.Log,
+			Cache:      s.cfg.SessionCache,
+			TicketKeys: s.cfg.TicketKeys,
+			Metrics:    s.cfg.Metrics,
+			Trace:      s.cfg.Trace,
 		}
 		sc, err := issl.BindServer(tcb, cfg)
 		if err != nil {
@@ -339,12 +353,35 @@ func (s *UnixServer) handle(id uint64, tcb *tcpip.TCB) {
 	s.cfg.Trace.Emit("redirector", "conn.done", "conn", id, "bytes_fwd", fwd, "bytes_bwd", bwd)
 }
 
-// Close stops the accept loop, aborts in-flight connections, and
-// waits for the handler goroutines to finish.
-func (s *UnixServer) Close() {
+// Close shuts the server down with the configured DrainTimeout: see
+// Shutdown. With DrainTimeout zero this is the original hard stop.
+func (s *UnixServer) Close() { s.Shutdown(s.cfg.DrainTimeout) }
+
+// Shutdown stops the accept loop (no new connections), then drains:
+// inflight connections get up to drain to finish on their own —
+// each one that does increments the drained_conns counter — before
+// the stragglers are aborted. It returns once every handler goroutine
+// has finished, so the half-close pump can never race the teardown
+// (the pre-drain Close aborted mid-pump and the chaos harness caught
+// byte-short transfers on otherwise healthy shutdowns).
+func (s *UnixServer) Shutdown(drain time.Duration) {
 	s.once.Do(func() {
 		close(s.stop)
 		s.lst.Close()
+		if drain > 0 {
+			start := s.stats.Inflight.Value()
+			deadline := time.Now().Add(drain)
+			for s.stats.Inflight.Value() > 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if done := start - s.stats.Inflight.Value(); done > 0 {
+				s.stats.DrainedConns.Add(uint64(done))
+				s.cfg.Trace.Emit("redirector", "shutdown.drained", "conns", done)
+			}
+			if rem := s.stats.Inflight.Value(); rem > 0 {
+				s.cfg.Trace.Emit("redirector", "shutdown.aborted", "conns", rem)
+			}
+		}
 		s.mu.Lock()
 		for tcb := range s.active {
 			tcb.Abort()
@@ -483,11 +520,12 @@ func (s *EmbeddedServer) serveSlot(slot int, sock *dcsock.TCPSocket) {
 			// Diversify per connection, not just per slot: with a session
 			// cache, a slot re-running the same PRNG would reissue the
 			// same session IDs.
-			Rand:    prng.NewXorshift(s.cfg.RandSeed ^ uint64(slot+1)<<32 ^ s.connSeq.Add(1)),
-			Log:     s.cfg.Log,
-			Cache:   s.cfg.SessionCache,
-			Metrics: s.cfg.Metrics,
-			Trace:   s.cfg.Trace,
+			Rand:       prng.NewXorshift(s.cfg.RandSeed ^ uint64(slot+1)<<32 ^ s.connSeq.Add(1)),
+			Log:        s.cfg.Log,
+			Cache:      s.cfg.SessionCache,
+			TicketKeys: s.cfg.TicketKeys,
+			Metrics:    s.cfg.Metrics,
+			Trace:      s.cfg.Trace,
 		}
 		sc, err := issl.BindServer(tr, cfg)
 		if err != nil {

@@ -780,6 +780,60 @@ func TestUnixAdmissionReopensAfterDrain(t *testing.T) {
 	}
 }
 
+// TestUnixGracefulDrain: Shutdown with a drain budget must let an
+// inflight connection finish on its own terms — and count it in
+// drained_conns — instead of aborting it the way Close(0) does.
+func TestUnixGracefulDrain(t *testing.T) {
+	cli, mid, back := world(t)
+	startEchoBackend(t, back)
+	srv, err := NewUnixServer(mid, Config{
+		ListenPort: 8080, Target: back.Addr(), TargetPort: backendPort,
+		Secure: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+
+	// A live connection that stays open into the shutdown.
+	tcb, err := cli.Connect(mid.Addr(), 8080, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcb.Write([]byte("hold"))
+	buf := make([]byte, 8)
+	if _, err := tcb.ReadDeadline(buf, time.Now().Add(5*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() { srv.Shutdown(10 * time.Second); close(done) }()
+	// The listener closes first: new arrivals are refused while the
+	// existing connection keeps working.
+	time.Sleep(20 * time.Millisecond)
+	tcb.Write([]byte("mid-drain"))
+	echo := make([]byte, 16)
+	got := 0
+	for got < 9 {
+		n, err := tcb.ReadDeadline(echo[got:], time.Now().Add(5*time.Second))
+		if err != nil {
+			t.Fatalf("echo during drain: %v", err)
+		}
+		got += n
+	}
+	// Client finishes voluntarily; Shutdown must notice and return well
+	// before its budget.
+	tcb.Close()
+	select {
+	case <-done:
+	case <-time.After(8 * time.Second):
+		t.Fatal("Shutdown did not return after the last connection drained")
+	}
+	if v := srv.Stats().DrainedConns.Value(); v != 1 {
+		t.Errorf("drained_conns = %d, want 1", v)
+	}
+}
+
 // TestEmbeddedCloseWaitsForHandlers is the goroutine-accounting fix:
 // Close must not return while serveSlot helper goroutines are still
 // running, so soaks can assert a zero-leak baseline.

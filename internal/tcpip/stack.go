@@ -142,6 +142,10 @@ func (s *Stack) Close() {
 		for _, u := range udps {
 			u.Close()
 		}
+		// Leave the fabric: detach the netsim port so the MAC (and with
+		// it the IP) is free for a replacement host — a restarted node
+		// re-attaches at the same address.
+		s.port.Close()
 	})
 }
 
