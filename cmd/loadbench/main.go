@@ -42,6 +42,7 @@ func main() {
 		jsonPath    = flag.String("json", "BENCH_load.json", "report output path (empty = skip)")
 		baseline    = flag.String("baseline", "", "prior report to diff against (empty = the -json path's current contents, if any)")
 		smoke       = flag.Bool("smoke", false, "small fixed workload for CI (overrides sizing flags)")
+		virtual     = flag.Bool("virtual", false, "virtual-SLO section only: skip the live run (scales to very large -clients)")
 
 		instances    = flag.Int("instances", 1, "redirector instances behind the L4 balancer (1 = no cluster)")
 		policy       = flag.String("policy", "hash", "balancer policy: hash | least")
@@ -55,6 +56,10 @@ func main() {
 	dist, err := loadgen.ParsePayloads(*payloads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *clients <= 0 || *clients > loadgen.MaxClients {
+		fmt.Fprintf(os.Stderr, "loadbench: -clients %d out of range (1..%d)\n", *clients, loadgen.MaxClients)
 		os.Exit(2)
 	}
 	cfg := loadgen.Config{
@@ -95,6 +100,7 @@ func main() {
 	if *smoke {
 		cfg.Clients, cfg.Requests, cfg.Resume, cfg.Concurrency = 32, 2, 0.5, 16
 	}
+	cfg.VirtualOnly = *virtual
 
 	// Capture the baseline before the run (and before -json truncates
 	// it — by default they are the same file): the committed

@@ -33,15 +33,16 @@ func twoHosts(t *testing.T) (*tcpip.Stack, *Env) {
 //	    if (sock_gets(...)) sock_puts(...); }
 func TestFig2bEchoServer(t *testing.T) {
 	cli, env := twoHosts(t)
+	// Bind before the client can connect: tcp_listen must win the race
+	// with the SYN or the connect is refused.
+	env.SockInit()
+	var sock TCPSocket
+	if err := env.TcpListen(&sock, 7777); err != nil {
+		t.Fatal(err)
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		env.SockInit()
-		var sock TCPSocket
-		if err := env.TcpListen(&sock, 7777); err != nil {
-			t.Error(err)
-			return
-		}
 		if st := sock.SockWaitEstablished(5 * time.Second); st != StatusOK {
 			t.Errorf("wait_established status %d", st)
 			return
@@ -245,12 +246,13 @@ func TestSockGetsRequiresASCIIMode(t *testing.T) {
 // equivalence of results is the assertion.
 func TestE6EchoLineProtocolMatchesBSDBehavior(t *testing.T) {
 	cli, env := twoHosts(t)
+	// Bind before the client can connect (see TestFig2bEchoServer).
+	env.SockInit()
+	var sock TCPSocket
+	if err := env.TcpListen(&sock, 7); err != nil {
+		t.Fatal(err)
+	}
 	go func() {
-		env.SockInit()
-		var sock TCPSocket
-		if err := env.TcpListen(&sock, 7); err != nil {
-			return
-		}
 		if sock.SockWaitEstablished(5*time.Second) != StatusOK {
 			return
 		}

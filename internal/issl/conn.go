@@ -40,10 +40,18 @@ type Conn struct {
 	rHMAC *sha1.HMACState
 
 	rbuf      []byte // decrypted-but-undelivered plaintext
-	rbufStore []byte // rbuf's backing array, reused from refill to refill
 	rdScratch []byte // readRecord body scratch, owned by the reader
 	peerClose bool
 	closed    atomic.Bool
+
+	// pk is the transport's zero-copy receive interface, resolved once
+	// at construction when the transport offers it (tcpip.TCB does).
+	// With pk set, records are opened in place inside the transport's
+	// receive buffer — rbuf aliases it — and pendingDiscard tracks the
+	// consumed record bytes, released lazily before the next record
+	// read (or eagerly once rbuf drains). Owned by the reader.
+	pk             peekTransport
+	pendingDiscard int
 
 	// readDeadline bounds record reads (see SetReadDeadline). Owned by
 	// the reading goroutine.
@@ -69,7 +77,11 @@ type Conn struct {
 }
 
 func newConn(tr io.ReadWriter, cfg Config) *Conn {
-	return &Conn{tr: tr, cfg: cfg, rng: cfg.Rand, metrics: newConnMetrics(cfg.Metrics)}
+	c := &Conn{tr: tr, cfg: cfg, rng: cfg.Rand, metrics: newConnMetrics(cfg.Metrics)}
+	if pk, ok := tr.(peekTransport); ok {
+		c.pk = pk
+	}
+	return c
 }
 
 // Profile returns the negotiated profile.
@@ -251,11 +263,12 @@ func (c *Conn) Read(p []byte) (int, error) {
 				err := fmt.Errorf("%w: %d > %d", ErrRecordTooBig, len(pt), c.cfg.maxRecord())
 				return 0, c.failAndAlert(err)
 			}
-			// rbuf is empty here (the loop condition), so refill reuses
-			// its backing array; steady-state reads stop allocating once
-			// it has grown to the record size.
-			c.rbufStore = append(c.rbufStore[:0], pt...)
-			c.rbuf = c.rbufStore
+			// rbuf was empty (the loop condition), so pt can be adopted
+			// directly: it aliases either the transport's pinned receive
+			// buffer (peek path) or rdScratch (fallback path), and the
+			// next readRecord only happens after rbuf drains — both
+			// backings are stable until then. No copy either way.
+			c.rbuf = pt
 			c.bytesIn += uint64(len(pt))
 			c.recordsIn++
 			c.metrics.bytesIn.Add(uint64(len(pt)))
@@ -280,6 +293,13 @@ func (c *Conn) Read(p []byte) (int, error) {
 	}
 	n := copy(p, c.rbuf)
 	c.rbuf = c.rbuf[n:]
+	if len(c.rbuf) == 0 {
+		// Record fully delivered: release the transport's receive
+		// buffer now rather than at the next readRecord, so the pin
+		// (which diverts concurrent arrivals) is held no longer than
+		// necessary.
+		c.flushPeeked()
+	}
 	return n, nil
 }
 

@@ -66,6 +66,26 @@ type deadlineSetter interface {
 	SetReadDeadline(t time.Time) error
 }
 
+// peekTransport is the zero-copy receive interface: Peek returns a
+// view into the transport's receive buffer (pinning it against
+// movement) holding at least n bytes, and Discard consumes bytes and
+// releases the pin. tcpip.TCB implements it; when the transport does,
+// the record layer opens records in place inside the receive buffer,
+// so one buffer carries the bytes from the wire to the plaintext the
+// application reads.
+type peekTransport interface {
+	Peek(n int, deadline time.Time) ([]byte, error)
+	Discard(n int)
+}
+
+// flushPeeked releases record bytes consumed from the peek transport.
+func (c *Conn) flushPeeked() {
+	if c.pendingDiscard > 0 {
+		c.pk.Discard(c.pendingDiscard)
+		c.pendingDiscard = 0
+	}
+}
+
 // readFull fills buf from the transport, honoring c.readDeadline.
 func (c *Conn) readFull(buf []byte) error {
 	dl := c.readDeadline
@@ -94,10 +114,14 @@ func (c *Conn) readFull(buf []byte) error {
 }
 
 // readRecord reads exactly one record, returning its type and body.
-// The body aliases a per-connection scratch buffer that is valid only
+// The body aliases a per-connection scratch buffer (or, on a peek
+// transport, the transport's own receive buffer) that is valid only
 // until the next readRecord call; callers that keep record contents
-// (the transcript, the rbuf) copy what they need.
+// (the transcript, the ticket) copy what they need.
 func (c *Conn) readRecord() (byte, []byte, error) {
+	if c.pk != nil {
+		return c.readRecordPeek()
+	}
 	var hdr [recordHeaderLen]byte
 	if err := c.readFull(hdr[:]); err != nil {
 		return 0, nil, err
@@ -117,6 +141,34 @@ func (c *Conn) readRecord() (byte, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: truncated body: %v", ErrBadRecord, err)
 	}
 	return hdr[0], body, nil
+}
+
+// readRecordPeek is readRecord over a peek transport: the record is
+// never copied out of the transport's receive buffer. The previous
+// record's bytes are released first; then the header is peeked, the
+// full record is peeked (re-pinning, which invalidates the header
+// view — its fields are read into locals before that), and the body
+// view is handed back with its length registered for the next flush.
+func (c *Conn) readRecordPeek() (byte, []byte, error) {
+	c.flushPeeked()
+	hdr, err := c.pk.Peek(recordHeaderLen, c.readDeadline)
+	if err != nil {
+		return 0, nil, err
+	}
+	recType := hdr[0]
+	if hdr[1] != protocolVersion {
+		return 0, nil, fmt.Errorf("%w: version %#x", ErrBadRecord, hdr[1])
+	}
+	n := int(hdr[2])<<8 | int(hdr[3])
+	buf, err := c.pk.Peek(recordHeaderLen+n, c.readDeadline)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("%w: truncated body: %v", ErrBadRecord, err)
+	}
+	c.pendingDiscard = recordHeaderLen + n
+	return recType, buf[recordHeaderLen : recordHeaderLen+n], nil
 }
 
 // writeHMAC and readHMAC lazily build the streaming MAC states from

@@ -133,6 +133,12 @@ type Config struct {
 	HubLatency time.Duration
 	// Plain disables the issl layer: the paper's plaintext baseline.
 	Plain bool
+	// VirtualOnly skips the live run entirely: only the deterministic
+	// workload plan and queueing model execute, so fleet sizes far past
+	// what CI hardware can drive live (tens of thousands of clients)
+	// still produce a replayable virtual-SLO section. The measured
+	// section of the report is zeroed.
+	VirtualOnly bool
 	// Wall additionally records wall-clock per-request latency into
 	// the measured section (not replayable; off by default).
 	Wall bool
@@ -147,10 +153,17 @@ type Config struct {
 	churnSet bool
 }
 
+// MaxClients bounds the fleet size: the plan and model are O(Clients)
+// in memory, so anything past this is a typo'd flag, not a workload.
+const MaxClients = 1 << 20
+
 func (cfg *Config) withDefaults() (*Config, error) {
 	c := *cfg
 	if c.Clients <= 0 {
 		return nil, fmt.Errorf("loadgen: Clients must be positive")
+	}
+	if c.Clients > MaxClients {
+		return nil, fmt.Errorf("loadgen: Clients %d exceeds limit %d", c.Clients, MaxClients)
 	}
 	if c.Requests <= 0 {
 		c.Requests = 2
@@ -250,6 +263,10 @@ func Run(cfg Config) (*Report, error) {
 		rep.Virtual.RPS = float64(model.requests) / (float64(model.durationNs) / 1e9)
 	}
 
+	if c.VirtualOnly {
+		rep.VirtualOnly = true
+		return rep, nil
+	}
 	measured, err := runReal(c, p)
 	if err != nil {
 		return nil, err

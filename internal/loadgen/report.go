@@ -168,6 +168,10 @@ type Report struct {
 	Faulty      bool    `json:"faulty"`
 	Instances   int     `json:"instances,omitempty"`
 	Policy      string  `json:"policy,omitempty"`
+	// VirtualOnly marks a run whose live half was skipped
+	// (Config.VirtualOnly): the measured section is all zeros by
+	// construction, not a report of a zero-work run.
+	VirtualOnly bool `json:"virtual_only,omitempty"`
 
 	Virtual  VirtualReport  `json:"virtual"`
 	Measured MeasuredReport `json:"measured"`
@@ -247,6 +251,10 @@ func (r *Report) WriteText(w io.Writer) error {
 		v.HandshakesFull, hsRate(v.HandshakesFull), v.HandshakesResumed, hsRate(v.HandshakesResumed))
 	writePct(w, "  latency", v.Latency)
 
+	if r.VirtualOnly {
+		fmt.Fprintf(w, "\nmeasured: skipped (virtual-only run)\n")
+		return nil
+	}
 	m := &r.Measured
 	fmt.Fprintf(w, "\nmeasured (live vertical, wall clock):\n")
 	fmt.Fprintf(w, "  duration       %12.3f s\n", float64(m.DurationNs)/1e9)

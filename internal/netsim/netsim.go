@@ -41,6 +41,47 @@ type Frame struct {
 	Payload   []byte
 }
 
+// EthHeaderLen is the Ethernet II header size: dst(6) + src(6) +
+// ethertype(2).
+const EthHeaderLen = 14
+
+// EthFrame is a view over one frame inside a receiver's drain buffer:
+// a 14-byte Ethernet II header followed by the payload, laid out
+// back-to-back with its neighbors. Accessors read the header in place;
+// nothing is decoded into a struct and the payload is never copied.
+// The view (and any slice derived from it) is valid only until the
+// receiver's next DrainFrames call.
+type EthFrame struct {
+	b []byte
+}
+
+// Dst returns the destination MAC.
+func (f EthFrame) Dst() MAC {
+	var m MAC
+	copy(m[:], f.b[0:6])
+	return m
+}
+
+// Src returns the source MAC.
+func (f EthFrame) Src() MAC {
+	var m MAC
+	copy(m[:], f.b[6:12])
+	return m
+}
+
+// EtherType returns the 16-bit ethertype.
+func (f EthFrame) EtherType() uint16 {
+	return uint16(f.b[12])<<8 | uint16(f.b[13])
+}
+
+// Payload returns the frame payload as a view into the drain buffer.
+// Receivers may parse it in place but must treat it as dead after the
+// next DrainFrames.
+func (f EthFrame) Payload() []byte { return f.b[EthHeaderLen:] }
+
+// Bytes returns the whole frame (header + payload) as a view.
+func (f EthFrame) Bytes() []byte { return f.b }
+
 // Hub is a shared-medium repeater with optional latency, loss, and a
 // scriptable FaultPlan (see fault.go). The zero value is not usable;
 // call NewHub.
@@ -155,6 +196,13 @@ var ErrHubClosed = errors.New("netsim: hub closed")
 var ErrPortClosed = errors.New("netsim: port closed")
 
 // Port is one attachment point on the hub — a NIC as seen by a host.
+//
+// A port runs in one of two receive modes, fixed at attach time.
+// Channel mode (Attach) hands each frame over a buffered channel with
+// its own heap-copied payload — simple, but one allocation+copy per
+// frame per receiver. Ring mode (AttachRing) writes frames back-to-back
+// into a slab the receiver drains wholesale with DrainFrames, so the
+// wire boundary costs one slab copy and zero steady-state allocations.
 type Port struct {
 	hub     *Hub
 	mac     MAC
@@ -162,6 +210,23 @@ type Port struct {
 	promi   bool // promiscuous: receives every frame on the wire
 	closed  bool // guarded by hub.mu; rx is closed exactly once with it
 	metrics portMetrics
+
+	// Ring mode. rxBuf/rxEnds are the filling slab: frames are appended
+	// as [14-byte header | payload] and rxEnds records the end offset of
+	// each frame. DrainFrames swaps the filling slab with the drained
+	// one (drBuf/drEnds) under hub.mu, then builds views outside the
+	// lock, so senders never block on a slow receiver and the receiver
+	// touches the lock once per batch. All ring state is guarded by
+	// hub.mu except drBuf/drEnds/drFrames, which are owned by the
+	// (single) draining goroutine between swaps.
+	ring     bool
+	notify   chan struct{} // cap 1: "the filling slab is non-empty"
+	closedCh chan struct{} // closed with p.closed when ring-mode
+	rxBuf    []byte
+	rxEnds   []int
+	drBuf    []byte
+	drEnds   []int
+	drFrames []EthFrame
 }
 
 // rxQueueDepth bounds a port's receive queue; frames beyond it are
@@ -184,6 +249,111 @@ func (h *Hub) Attach(mac MAC) (*Port, error) {
 		metrics: newPortMetrics(h.reg, mac)}
 	h.ports = append(h.ports, p)
 	return p, nil
+}
+
+// AttachRing adds a ring-mode port: received frames accumulate in a
+// slab the owner drains with DrainFrames. This is the zero-copy-ingress
+// attachment the TCP/IP stack uses; channel-mode Attach remains for
+// receivers that want per-frame channel semantics (sniffers, test
+// rigs).
+func (h *Hub) AttachRing(mac MAC) (*Port, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrHubClosed
+	}
+	for _, p := range h.ports {
+		if p.mac == mac {
+			return nil, fmt.Errorf("netsim: MAC %s already attached", mac)
+		}
+	}
+	p := &Port{hub: h, mac: mac,
+		ring:     true,
+		notify:   make(chan struct{}, 1),
+		closedCh: make(chan struct{}),
+		metrics:  newPortMetrics(h.reg, mac)}
+	h.ports = append(h.ports, p)
+	return p, nil
+}
+
+// enqueueLocked appends one frame to a ring port's filling slab.
+// hub.mu held. Overflow policy matches channel mode: at most
+// rxQueueDepth undrained frames, beyond which frames drop as a real
+// NIC ring would.
+func (p *Port) enqueueLocked(f Frame) {
+	h := p.hub
+	if len(p.rxEnds) >= rxQueueDepth {
+		h.metrics.framesDropped.Inc()
+		p.metrics.rxDrops.Inc()
+		h.trace.Emit("netsim", "rx_overflow", "dst", p.mac.String(), "len", len(f.Payload))
+		return
+	}
+	b := p.rxBuf
+	b = append(b, f.Dst[:]...)
+	b = append(b, f.Src[:]...)
+	b = append(b, byte(f.EtherType>>8), byte(f.EtherType))
+	b = append(b, f.Payload...)
+	p.rxBuf = b
+	p.rxEnds = append(p.rxEnds, len(b))
+	p.metrics.rxBytes.Add(uint64(len(f.Payload)))
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+}
+
+// DrainFrames blocks until at least one frame is pending, then returns
+// views over the whole pending batch. The returned slice and every
+// view in it are valid only until the next DrainFrames call. stop, if
+// non-nil, aborts the wait (returning ErrPortClosed) — receivers pass
+// their shutdown channel. After the port closes, any frames already
+// queued are still drained; the error surfaces once the ring is empty.
+func (p *Port) DrainFrames(stop <-chan struct{}) ([]EthFrame, error) {
+	if !p.ring {
+		return nil, errors.New("netsim: DrainFrames on channel-mode port")
+	}
+	h := p.hub
+	for {
+		h.mu.Lock()
+		if len(p.rxEnds) > 0 {
+			// Swap the filling slab with the drained one. The old drain
+			// slab's memory becomes the next filling slab, so steady state
+			// ping-pongs between two allocations.
+			p.rxBuf, p.drBuf = p.drBuf[:0], p.rxBuf
+			p.rxEnds, p.drEnds = p.drEnds[:0], p.rxEnds
+			select {
+			case <-p.notify: // clear stale wakeup for the now-empty slab
+			default:
+			}
+			h.mu.Unlock()
+			frames := p.drFrames[:0]
+			start := 0
+			for _, end := range p.drEnds {
+				frames = append(frames, EthFrame{b: p.drBuf[start:end]})
+				start = end
+			}
+			p.drFrames = frames
+			return frames, nil
+		}
+		closed := p.closed
+		h.mu.Unlock()
+		if closed {
+			return nil, ErrPortClosed
+		}
+		if stop == nil {
+			select {
+			case <-p.notify:
+			case <-p.closedCh:
+			}
+		} else {
+			select {
+			case <-p.notify:
+			case <-p.closedCh:
+			case <-stop:
+				return nil, ErrPortClosed
+			}
+		}
+	}
 }
 
 // AttachPromiscuous adds a port that receives every frame on the wire
@@ -210,13 +380,6 @@ func (p *Port) MAC() MAC { return p.mac }
 // exactly as on a real wire.
 func (p *Port) Send(f Frame) error {
 	f.Src = p.mac
-	// Copy the payload once at the wire boundary: the sender may reuse
-	// its marshal scratch as soon as Send returns, while delivery can be
-	// deferred (latency) or held back (fault reordering). Receivers
-	// never mutate delivered payloads, so every target shares this copy.
-	if f.Payload != nil {
-		f.Payload = append([]byte(nil), f.Payload...)
-	}
 	h := p.hub
 	h.mu.Lock()
 	if h.closed {
@@ -241,6 +404,24 @@ func (p *Port) Send(f Frame) error {
 		h.trace.Emit("netsim", "fault.loss", "mode", "uniform", "src", p.mac.String(), "len", len(f.Payload))
 		h.mu.Unlock()
 		return nil // lost on the wire; sender cannot tell
+	}
+	if h.fault == nil && h.latency == 0 {
+		// Fast path: a clean zero-latency wire delivers inline, while
+		// the sender's payload is still live — ring targets copy it
+		// straight into their slab and channel targets get one shared
+		// heap copy made lazily, so a ring-only topology sends with
+		// zero allocations.
+		h.deliverNowLocked(f, now)
+		h.mu.Unlock()
+		return nil
+	}
+	// Slow path: delivery is deferred (latency) or may be held back
+	// (fault reordering), so copy the payload once at the wire
+	// boundary — the sender may reuse its marshal scratch as soon as
+	// Send returns. Receivers never mutate delivered payloads, so every
+	// target shares this copy.
+	if f.Payload != nil {
+		f.Payload = append([]byte(nil), f.Payload...)
 	}
 	outgoing := []Frame{f}
 	if h.fault != nil {
@@ -303,6 +484,52 @@ func (h *Hub) targetsLocked(fr Frame, now time.Time) []*Port {
 	return targets
 }
 
+// deliverNowLocked fans one frame out to its targets immediately,
+// while the caller's payload is still live. Ring targets copy it into
+// their slab; channel targets share one lazily-made heap copy (their
+// consumers hold frames past this call). h.mu held.
+func (h *Hub) deliverNowLocked(f Frame, now time.Time) {
+	h.metrics.framesSent.Inc()
+	var shared []byte // heap copy for channel targets, made at most once
+	haveShared := false
+	for _, q := range h.ports {
+		if q.mac == f.Src {
+			continue
+		}
+		// Partition is checked before destination matching, exactly as
+		// targetsLocked does, so partitionDrops counts identically on
+		// both paths.
+		if h.partitionedLocked(q.mac, now) {
+			h.metrics.partitionDrops.Inc()
+			h.trace.Emit("netsim", "fault.partition", "dst", q.mac.String(), "len", len(f.Payload))
+			continue
+		}
+		if q.closed || (f.Dst != Broadcast && f.Dst != q.mac && !q.promi) {
+			continue
+		}
+		if q.ring {
+			q.enqueueLocked(f)
+			continue
+		}
+		if !haveShared {
+			haveShared = true
+			if f.Payload != nil {
+				shared = append([]byte(nil), f.Payload...)
+			}
+		}
+		cp := f
+		cp.Payload = shared
+		select {
+		case q.rx <- cp:
+			q.metrics.rxBytes.Add(uint64(len(cp.Payload)))
+		default:
+			h.metrics.framesDropped.Inc()
+			q.metrics.rxDrops.Inc()
+			h.trace.Emit("netsim", "rx_overflow", "dst", q.mac.String(), "len", len(cp.Payload))
+		}
+	}
+}
+
 // deliverLocked pushes deliveries into receive queues. h.mu held; the
 // per-port closed flag is checked under the same lock, so a detaching
 // port can never see a send on its closed channel.
@@ -310,6 +537,10 @@ func (h *Hub) deliverLocked(deliveries []delivery) {
 	for _, d := range deliveries {
 		for _, q := range d.targets {
 			if q.closed {
+				continue
+			}
+			if q.ring {
+				q.enqueueLocked(d.frame)
 				continue
 			}
 			// The payload was already copied at the Send boundary, so the
@@ -347,10 +578,15 @@ func (p *Port) Close() {
 	p.hub.ports = kept
 }
 
-// closeLocked closes the rx channel exactly once. hub.mu held.
+// closeLocked closes the rx channel (or ring-mode wakeup channel)
+// exactly once. hub.mu held.
 func (p *Port) closeLocked() {
 	if !p.closed {
 		p.closed = true
-		close(p.rx)
+		if p.ring {
+			close(p.closedCh)
+		} else {
+			close(p.rx)
+		}
 	}
 }

@@ -1,0 +1,65 @@
+package tcpip
+
+// Paired ingress-parse benchmarks: the accessor-view path the receive
+// loop now runs vs the decode-into-struct oracle it replaced. Run both
+// to reproduce the EXPERIMENTS.md E14 numbers:
+//
+//	go test ./internal/tcpip -bench BenchmarkIngress -benchmem
+//
+// Both parse paths are allocation-free (the oracles alias payloads
+// too); the win here is avoiding the struct copies, and the payload
+// copy elimination itself is measured by BenchmarkRingDelivery in
+// internal/netsim.
+
+import "testing"
+
+func benchFrame() []byte {
+	src, dst := Addr{10, 0, 0, 1}, Addr{10, 0, 0, 2}
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	return marshalIP(ipPacket{src: src, dst: dst, proto: ProtoTCP, ttl: 64,
+		payload: marshalTCP(src, dst, tcpSegment{
+			srcPort: 40000, dstPort: 4433, seq: 7, ack: 9,
+			flags: flagACK | flagPSH, window: 32 * 1024, payload: payload,
+		})})
+}
+
+func BenchmarkIngressParseView(b *testing.B) {
+	frame := benchFrame()
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		ip, err := ParseIPv4Frame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tcp, err := ParseTCPFrame(ip.Payload())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink ^= tcp.Payload()[0]
+	}
+	_ = sink
+}
+
+func BenchmarkIngressParseDecode(b *testing.B) {
+	frame := benchFrame()
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		ip, err := parseIP(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seg, ok := parseTCP(ip.payload)
+		if !ok {
+			b.Fatal("parseTCP rejected")
+		}
+		sink ^= seg.payload[0]
+	}
+	_ = sink
+}

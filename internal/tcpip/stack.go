@@ -79,7 +79,7 @@ func NewStack(hub *netsim.Hub, ip Addr) (*Stack, error) {
 // argument may be nil (nil registry: counters are no-ops).
 func NewStackWithTelemetry(hub *netsim.Hub, ip Addr, reg *telemetry.Registry, trace *telemetry.Trace) (*Stack, error) {
 	mac := netsim.MAC{0x02, 0x00, ip[0], ip[1], ip[2], ip[3]}
-	port, err := hub.Attach(mac)
+	port, err := hub.AttachRing(mac)
 	if err != nil {
 		return nil, fmt.Errorf("tcpip: attach: %w", err)
 	}
@@ -149,38 +149,46 @@ func (s *Stack) Close() {
 	})
 }
 
+// recvLoop drains the port's receive ring one batch per hub-lock
+// acquisition and demuxes each frame in place. Every frame handed to
+// handleFrameView is a view into the drain slab, valid until the next
+// DrainFrames call — the handlers copy only what they keep (TCP
+// receive-buffer bytes, UDP datagrams, ARP cache entries).
 func (s *Stack) recvLoop() {
 	for {
-		select {
-		case <-s.closed:
+		frames, err := s.port.DrainFrames(s.closed)
+		if err != nil {
 			return
-		case f, ok := <-s.port.Recv():
-			if !ok {
-				return
-			}
-			s.handleFrame(f)
+		}
+		for _, f := range frames {
+			s.handleFrameView(f)
 		}
 	}
 }
 
-func (s *Stack) handleFrame(f netsim.Frame) {
-	switch f.EtherType {
+// handleFrameView demuxes one received frame by ethertype and IP
+// protocol without decoding headers into structs: IPv4 and TCP headers
+// are read through validated views over the drain slab, so the payload
+// travels from the wire to the TCP receive buffer with no intermediate
+// copy.
+func (s *Stack) handleFrameView(f netsim.EthFrame) {
+	switch f.EtherType() {
 	case netsim.EtherTypeARP:
 		s.mu.Lock()
-		s.handleARP(f.Payload)
+		s.handleARP(f.Payload())
 		s.mu.Unlock()
 	case netsim.EtherTypeIPv4:
-		p, err := parseIP(f.Payload)
-		if err != nil || p.dst != s.ip {
+		ip, err := ParseIPv4Frame(f.Payload())
+		if err != nil || ip.Dst() != s.ip {
 			return
 		}
-		switch p.proto {
+		switch ip.Proto() {
 		case ProtoICMP:
-			s.handleICMP(p)
+			s.handleICMP(ip.Src(), ip.Payload())
 		case ProtoUDP:
-			s.handleUDP(p)
+			s.handleUDP(ip.Src(), ip.Payload())
 		case ProtoTCP:
-			s.handleTCP(p)
+			s.handleTCPView(ip.Src(), ip.Payload())
 		}
 	}
 }
@@ -189,18 +197,19 @@ func (s *Stack) handleFrame(f netsim.Frame) {
 func (s *Stack) timerLoop() {
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
+	var scratch []*TCB // reused across ticks: the loop must not allocate at steady state
 	for {
 		select {
 		case <-s.closed:
 			return
 		case now := <-tick.C:
 			s.mu.Lock()
-			tcbs := make([]*TCB, 0, len(s.tcbs))
+			scratch = scratch[:0]
 			for _, t := range s.tcbs {
-				tcbs = append(tcbs, t)
+				scratch = append(scratch, t)
 			}
 			s.mu.Unlock()
-			for _, t := range tcbs {
+			for _, t := range scratch {
 				t.tick(now)
 			}
 		}
@@ -243,8 +252,7 @@ const (
 	icmpEchoRequest = 8
 )
 
-func (s *Stack) handleICMP(p ipPacket) {
-	b := p.payload
+func (s *Stack) handleICMP(src Addr, b []byte) {
 	if len(b) < 8 || checksum(b) != 0 {
 		return
 	}
@@ -255,7 +263,7 @@ func (s *Stack) handleICMP(p ipPacket) {
 		put16(reply[2:], 0)
 		put16(reply[2:], checksum(reply))
 		s.mu.Lock()
-		s.sendIP(p.src, ProtoICMP, reply)
+		s.sendIP(src, ProtoICMP, reply)
 		s.mu.Unlock()
 	case icmpEchoReply:
 		id := be16(b[4:])
@@ -384,12 +392,13 @@ func (u *UDPConn) Close() {
 	})
 }
 
-func (s *Stack) handleUDP(p ipPacket) {
-	b := p.payload
+func (s *Stack) handleUDP(src Addr, b []byte) {
 	if len(b) < 8 {
 		return
 	}
-	if pseudoChecksum(ProtoUDP, p.src, p.dst, b) != 0 {
+	// The caller verified the packet was addressed to us, so the
+	// pseudo-header destination is our own address.
+	if pseudoChecksum(ProtoUDP, src, s.ip, b) != 0 {
 		return
 	}
 	dstPort := be16(b[2:])
@@ -399,7 +408,7 @@ func (s *Stack) handleUDP(p ipPacket) {
 	if !ok {
 		return
 	}
-	dg := UDPDatagram{Src: p.src, SrcPort: be16(b[0:]), Data: append([]byte(nil), b[8:]...)}
+	dg := UDPDatagram{Src: src, SrcPort: be16(b[0:]), Data: append([]byte(nil), b[8:]...)}
 	select {
 	case u.rx <- dg:
 	default: // receiver not draining; drop like a kernel would

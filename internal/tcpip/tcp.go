@@ -192,13 +192,27 @@ type TCB struct {
 	rcvNxt   uint32 // next expected
 	peerWnd  uint16
 
-	sndBuf    []byte // unacked+unsent data; index 0 is seq sndUna
-	sndClosed bool   // Close called; FIN queued behind data
+	// sndBuf holds unacked+unsent data; index sndStart is seq sndUna.
+	// ACKs advance sndStart instead of re-slicing (re-slicing the front
+	// off makes every later append reallocate); the buffer resets when
+	// fully acked and compacts in Write if the tail would otherwise
+	// grow past its capacity.
+	sndBuf    []byte
+	sndStart  int
+	sndClosed bool // Close called; FIN queued behind data
 	finSent   bool
 	finSeq    uint32
 
-	rcvBuf    []byte
-	rcvClosed bool // peer FIN consumed
+	// rcvBuf holds in-order received data; index rcvStart is the next
+	// unread byte. While rcvPinned, a Peek caller holds views into
+	// rcvBuf (and may be decrypting in place), so the buffer must not
+	// move: arrivals divert to rcvPending and merge back when the
+	// reader unpins (Discard, or the next Peek).
+	rcvBuf     []byte
+	rcvStart   int
+	rcvPinned  bool
+	rcvPending []byte
+	rcvClosed  bool // peer FIN consumed
 	// ooo holds out-of-order segments (seq -> payload) awaiting the
 	// gap to fill; bounded to keep a hostile peer from ballooning it.
 	ooo map[uint32][]byte
@@ -274,6 +288,42 @@ func (t *TCB) waitCond(deadline time.Time, pred func() bool) error {
 	return nil
 }
 
+// sndLen returns the bytes pending in the send buffer. t.mu held.
+func (t *TCB) sndLen() int { return len(t.sndBuf) - t.sndStart }
+
+// rcvLen returns the readable bytes in the receive buffer (excluding
+// any pinned-aside pending bytes). t.mu held.
+func (t *TCB) rcvLen() int { return len(t.rcvBuf) - t.rcvStart }
+
+// mergePendingLocked folds rcvPending back into rcvBuf and resets a
+// fully-drained buffer so its capacity is reused. No-op while pinned —
+// the whole point of rcvPending is that rcvBuf cannot move then.
+// t.mu held.
+func (t *TCB) mergePendingLocked() {
+	if t.rcvPinned {
+		return
+	}
+	if t.rcvStart == len(t.rcvBuf) && t.rcvStart > 0 {
+		t.rcvBuf = t.rcvBuf[:0]
+		t.rcvStart = 0
+	}
+	if len(t.rcvPending) > 0 {
+		t.rcvBuf = append(t.rcvBuf, t.rcvPending...)
+		t.rcvPending = t.rcvPending[:0]
+	}
+}
+
+// appendRcvLocked adds in-order payload bytes for the reader,
+// diverting to the pending buffer while a Peek view pins rcvBuf.
+// t.mu held.
+func (t *TCB) appendRcvLocked(payload []byte) {
+	if t.rcvPinned {
+		t.rcvPending = append(t.rcvPending, payload...)
+	} else {
+		t.rcvBuf = append(t.rcvBuf, payload...)
+	}
+}
+
 // send transmits one segment for this connection. Called with t.mu held.
 func (t *TCB) send(seg tcpSegment) {
 	seg.srcPort = t.localPort
@@ -307,8 +357,8 @@ func (t *TCB) transmit() {
 	if t.finSent {
 		sent-- // FIN occupies one phantom byte past the buffer
 	}
-	for sent < len(t.sndBuf) && sent < wnd {
-		n := len(t.sndBuf) - sent
+	for sent < t.sndLen() && sent < wnd {
+		n := t.sndLen() - sent
 		if n > tcpMSS {
 			n = tcpMSS
 		}
@@ -318,7 +368,7 @@ func (t *TCB) transmit() {
 		t.send(tcpSegment{
 			seq: t.sndUna + uint32(sent), ack: t.rcvNxt,
 			flags:   flagACK | flagPSH,
-			payload: t.sndBuf[sent : sent+n],
+			payload: t.sndBuf[t.sndStart+sent : t.sndStart+sent+n],
 		})
 		sent += n
 		t.sndNxt = t.sndUna + uint32(sent)
@@ -329,8 +379,8 @@ func (t *TCB) transmit() {
 		}
 		t.armRTO()
 	}
-	if t.sndClosed && !t.finSent && sent == len(t.sndBuf) {
-		t.finSeq = t.sndUna + uint32(len(t.sndBuf))
+	if t.sndClosed && !t.finSent && sent == t.sndLen() {
+		t.finSeq = t.sndUna + uint32(t.sndLen())
 		t.send(tcpSegment{seq: t.finSeq, ack: t.rcvNxt, flags: flagFIN | flagACK})
 		t.finSent = true
 		t.sndNxt = t.finSeq + 1
@@ -384,14 +434,14 @@ func (t *TCB) tick(now time.Time) {
 	case stateSynRcvd:
 		t.send(tcpSegment{seq: t.iss, ack: t.rcvNxt, flags: flagSYN | flagACK})
 	default:
-		if len(t.sndBuf) > 0 {
-			n := len(t.sndBuf)
+		if t.sndLen() > 0 {
+			n := t.sndLen()
 			if n > tcpMSS {
 				n = tcpMSS
 			}
 			t.send(tcpSegment{
 				seq: t.sndUna, ack: t.rcvNxt,
-				flags: flagACK | flagPSH, payload: t.sndBuf[:n],
+				flags: flagACK | flagPSH, payload: t.sndBuf[t.sndStart : t.sndStart+n],
 			})
 		} else if t.finSent {
 			t.send(tcpSegment{seq: t.finSeq, ack: t.rcvNxt, flags: flagFIN | flagACK})
@@ -522,10 +572,14 @@ func (t *TCB) handleSegment(seg tcpSegment) {
 	if seg.flags&flagACK != 0 && seqLT(t.sndUna, seg.ack) && seqLEQ(seg.ack, t.sndNxt) {
 		advance := seg.ack - t.sndUna
 		dataAcked := int(advance)
-		if dataAcked > len(t.sndBuf) {
-			dataAcked = len(t.sndBuf) // FIN phantom byte
+		if dataAcked > t.sndLen() {
+			dataAcked = t.sndLen() // FIN phantom byte
 		}
-		t.sndBuf = t.sndBuf[dataAcked:]
+		t.sndStart += dataAcked
+		if t.sndStart == len(t.sndBuf) {
+			t.sndBuf = t.sndBuf[:0]
+			t.sndStart = 0
+		}
 		t.sndUna = seg.ack
 		t.retries = 0
 		t.rto = initialRTO
@@ -533,9 +587,14 @@ func (t *TCB) handleSegment(seg tcpSegment) {
 			rtt := time.Since(t.rttAt)
 			t.rttValid = false
 			t.stack.metrics.rttUs.Observe(uint64(rtt.Microseconds()))
-			t.stack.trace.Emit("tcp", "rtt_sample",
-				"local", t.localPort, "remote", t.remotePort,
-				"rtt_us", rtt.Microseconds())
+			// Guarded: Emit boxes its arguments before the nil-receiver
+			// check, and this fires on every timed ACK — the one trace
+			// call on the steady-state receive path.
+			if t.stack.trace != nil {
+				t.stack.trace.Emit("tcp", "rtt_sample",
+					"local", t.localPort, "remote", t.remotePort,
+					"rtt_us", rtt.Microseconds())
+			}
 		}
 		if t.sndUna == t.sndNxt {
 			t.rtoArmed = false
@@ -561,7 +620,7 @@ func (t *TCB) handleSegment(seg tcpSegment) {
 		case stateEstablished, stateFinWait1, stateFinWait2:
 			switch {
 			case seg.seq == t.rcvNxt:
-				t.rcvBuf = append(t.rcvBuf, seg.payload...)
+				t.appendRcvLocked(seg.payload)
 				t.rcvNxt += uint32(len(seg.payload))
 				t.drainOOO()
 				t.cond.Broadcast()
@@ -624,7 +683,7 @@ func (t *TCB) drainOOO() {
 			return
 		}
 		delete(t.ooo, t.rcvNxt)
-		t.rcvBuf = append(t.rcvBuf, payload...)
+		t.appendRcvLocked(payload)
 		t.rcvNxt += uint32(len(payload))
 	}
 }
@@ -647,17 +706,19 @@ func (t *TCB) Read(buf []byte) (int, error) {
 func (t *TCB) ReadDeadline(buf []byte, deadline time.Time) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.mergePendingLocked()
 	err := t.waitCond(deadline, func() bool {
-		return len(t.rcvBuf) > 0 || t.rcvClosed
+		return t.rcvLen() > 0 || t.rcvClosed
 	})
-	if len(t.rcvBuf) == 0 {
+	if t.rcvLen() == 0 {
 		if err != nil {
 			return 0, err
 		}
 		return 0, io.EOF
 	}
-	n := copy(buf, t.rcvBuf)
-	t.rcvBuf = t.rcvBuf[n:]
+	n := copy(buf, t.rcvBuf[t.rcvStart:])
+	t.rcvStart += n
+	t.mergePendingLocked()
 	return n, nil
 }
 
@@ -665,7 +726,53 @@ func (t *TCB) ReadDeadline(buf []byte, deadline time.Time) (int, error) {
 func (t *TCB) Avail() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.rcvBuf)
+	return t.rcvLen() + len(t.rcvPending)
+}
+
+// Peek blocks until at least n received bytes are buffered, then
+// returns all buffered bytes as a view into the receive buffer — no
+// copy. The caller owns the view (and may mutate it, e.g. decrypt in
+// place) until its matching Discard or the next Peek, either of which
+// invalidates it. While a view is outstanding the buffer is pinned:
+// concurrently arriving segments divert to a side buffer so the viewed
+// memory cannot move under the caller. On EOF with no buffered data it
+// returns io.EOF; with some-but-fewer than n bytes, io.ErrUnexpectedEOF
+// (the io.ReadFull convention, which the record layer's framing
+// expects).
+func (t *TCB) Peek(n int, deadline time.Time) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rcvPinned = false // this call invalidates any previous view
+	t.mergePendingLocked()
+	err := t.waitCond(deadline, func() bool {
+		t.mergePendingLocked()
+		return t.rcvLen() >= n || t.rcvClosed
+	})
+	if t.rcvLen() < n {
+		if err != nil {
+			return nil, err
+		}
+		if t.rcvLen() == 0 {
+			return nil, io.EOF
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	t.rcvPinned = true
+	return t.rcvBuf[t.rcvStart:], nil
+}
+
+// Discard consumes n bytes from the front of the receive buffer and
+// releases the pin taken by Peek, merging any bytes that arrived while
+// the buffer was pinned. n is clamped to the buffered amount.
+func (t *TCB) Discard(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rcvStart += n
+	if t.rcvStart > len(t.rcvBuf) {
+		t.rcvStart = len(t.rcvBuf)
+	}
+	t.rcvPinned = false
+	t.mergePendingLocked()
 }
 
 // Write queues data for transmission, blocking while the send buffer
@@ -686,10 +793,10 @@ func (t *TCB) Write(data []byte) (int, error) {
 		default:
 			return written, ErrConnClosed
 		}
-		space := sndBufLimit - len(t.sndBuf)
+		space := sndBufLimit - t.sndLen()
 		if space <= 0 {
 			if err := t.waitCond(time.Now().Add(10*time.Second), func() bool {
-				return len(t.sndBuf) < sndBufLimit || t.err != nil || t.sndClosed
+				return t.sndLen() < sndBufLimit || t.err != nil || t.sndClosed
 			}); err != nil {
 				return written, err
 			}
@@ -698,6 +805,15 @@ func (t *TCB) Write(data []byte) (int, error) {
 		n := len(data) - written
 		if n > space {
 			n = space
+		}
+		// Compact acked-but-unreclaimed front space instead of growing:
+		// nothing holds views into sndBuf (send copies synchronously),
+		// so sliding the pending bytes down is always safe and keeps the
+		// buffer's capacity bounded by the send-buffer limit.
+		if t.sndStart > 0 && len(t.sndBuf)+n > cap(t.sndBuf) {
+			kept := copy(t.sndBuf, t.sndBuf[t.sndStart:])
+			t.sndBuf = t.sndBuf[:kept]
+			t.sndStart = 0
 		}
 		t.sndBuf = append(t.sndBuf, data[written:written+n]...)
 		written += n
@@ -943,35 +1059,48 @@ func (s *Stack) ListenOne(port uint16) (*TCB, error) {
 
 // --- Stack-level TCP demux ----------------------------------------------------
 
-func (s *Stack) handleTCP(p ipPacket) {
-	if pseudoChecksum(ProtoTCP, p.src, p.dst, p.payload) != 0 {
+// handleTCPView verifies and demuxes one TCP segment arriving as a
+// view into the receive slab. The header is read in place through
+// TCPFrame; the segment's payload slice still aliases the slab, so
+// everything downstream must copy what it keeps before returning
+// (handleSegment's receive-buffer append does exactly that).
+func (s *Stack) handleTCPView(src Addr, b []byte) {
+	// The frame was addressed to us (handleFrameView checked), so the
+	// pseudo-header destination is our own address.
+	if pseudoChecksum(ProtoTCP, src, s.ip, b) != 0 {
 		s.metrics.checksumDrops.Inc()
-		s.trace.Emit("tcp", "checksum_drop", "src", p.src.String(), "len", len(p.payload))
+		s.trace.Emit("tcp", "checksum_drop", "src", src.String(), "len", len(b))
 		return
 	}
-	seg, ok := parseTCP(p.payload)
-	if !ok {
+	f, err := ParseTCPFrame(b)
+	if err != nil {
 		return
 	}
+	s.demuxTCP(src, f.segment())
+}
+
+// demuxTCP routes a verified segment to its TCB, matching SYNs against
+// listeners and answering strays with RST.
+func (s *Stack) demuxTCP(src Addr, seg tcpSegment) {
 	s.metrics.segsRcvd.Inc()
-	key := tcpKey{p.src, seg.srcPort, seg.dstPort}
+	key := tcpKey{src, seg.srcPort, seg.dstPort}
 	s.mu.Lock()
 	t, found := s.tcbs[key]
 	var fresh bool
 	if !found && seg.flags&flagSYN != 0 && seg.flags&flagACK == 0 {
-		t, fresh = s.matchSYNLocked(p.src, seg, key)
+		t, fresh = s.matchSYNLocked(src, seg, key)
 	}
 	s.mu.Unlock()
 	if t != nil && fresh {
 		// Bind outside s.mu (lock order: t.mu → s.mu only). If the
 		// socket was closed in the meantime, refuse the connection.
-		if !t.bindPassive(p.src, seg) {
+		if !t.bindPassive(src, seg) {
 			s.mu.Lock()
 			if s.tcbs[key] == t {
 				delete(s.tcbs, key)
 			}
 			s.mu.Unlock()
-			s.sendRST(p.src, seg)
+			s.sendRST(src, seg)
 			return
 		}
 	}
@@ -980,7 +1109,7 @@ func (s *Stack) handleTCP(p ipPacket) {
 		return
 	}
 	if seg.flags&flagRST == 0 {
-		s.sendRST(p.src, seg)
+		s.sendRST(src, seg)
 	}
 }
 
