@@ -12,6 +12,17 @@
 // benchmark should not require regenerating the baseline in the same
 // change). The threshold applies to ns/op; results faster than -min-ns
 // are skipped as too small to time reliably at -benchtime=1x.
+//
+// -trend switches to history mode: the positional arguments are dated
+// reports (the BENCH_head_<date>.json artifacts CI uploads per run),
+// and the output is one row per benchmark with its ns/op across every
+// report in date order plus the latest-vs-first drift — the
+// multi-release view the single-pair gate cannot show:
+//
+//	go run ./cmd/benchdiff -trend -filter '^BenchmarkKernel' BENCH_head_*.json
+//
+// Trend mode is informational and always exits 0 when the reports
+// parse.
 package main
 
 import (
@@ -57,12 +68,9 @@ func main() {
 		filter     = flag.String("filter", "", "regexp; only matching benchmark names are compared")
 		maxRegress = flag.Float64("max-regress", 25, "fail when ns/op grows more than this percent")
 		minNs      = flag.Float64("min-ns", 10_000, "skip results faster than this (too noisy at one iteration)")
+		trend      = flag.Bool("trend", false, "history mode: positional args are dated reports; print per-benchmark ns/op trend")
 	)
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are both required")
-		os.Exit(2)
-	}
 	var re *regexp.Regexp
 	if *filter != "" {
 		var err error
@@ -70,6 +78,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(2)
 		}
+	}
+	if *trend {
+		if err := runTrend(flag.Args(), re); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are both required")
+		os.Exit(2)
 	}
 	oldRep, err := readReport(*oldPath)
 	if err != nil {
@@ -143,4 +162,101 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: %d benchmark(s) within threshold\n", compared)
+}
+
+// runTrend renders the history table: one column per dated report
+// (sorted by the report's own date stamp, filename as tiebreaker), one
+// row per benchmark, ns/op in each cell, and the latest-vs-first drift
+// at the end of the row. A benchmark missing from a report (added or
+// retired mid-history) renders as "-".
+func runTrend(paths []string, re *regexp.Regexp) error {
+	if len(paths) < 1 {
+		return fmt.Errorf("-trend needs at least one report argument (e.g. BENCH_head_*.json)")
+	}
+	type dated struct {
+		path string
+		rep  *benchReport
+	}
+	reports := make([]dated, 0, len(paths))
+	for _, p := range paths {
+		r, err := readReport(p)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, dated{p, r})
+	}
+	sort.SliceStable(reports, func(i, j int) bool {
+		if reports[i].rep.Date != reports[j].rep.Date {
+			return reports[i].rep.Date < reports[j].rep.Date
+		}
+		return reports[i].path < reports[j].path
+	})
+
+	// Column headers: the date stamp, disambiguated by filename when two
+	// reports share a date.
+	heads := make([]string, len(reports))
+	seen := map[string]int{}
+	for i, d := range reports {
+		h := d.rep.Date
+		if h == "" {
+			h = d.path
+		}
+		seen[h]++
+		if seen[h] > 1 {
+			h = fmt.Sprintf("%s#%d", h, seen[h])
+		}
+		heads[i] = h
+	}
+
+	byName := make([]map[string]benchResult, len(reports))
+	nameSet := map[string]bool{}
+	for i, d := range reports {
+		byName[i] = map[string]benchResult{}
+		for _, r := range d.rep.Results {
+			if re != nil && !re.MatchString(r.Name) {
+				continue
+			}
+			byName[i][r.Name] = r
+			nameSet[r.Name] = true
+		}
+	}
+	var names []string
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no benchmarks matched across %d report(s)", len(reports))
+	}
+
+	fmt.Printf("benchdiff trend: %d report(s), ns/op per benchmark\n", len(reports))
+	fmt.Printf("  %-44s", "")
+	for _, h := range heads {
+		fmt.Printf(" %14s", h)
+	}
+	fmt.Printf("  %10s\n", "drift")
+	for _, name := range names {
+		fmt.Printf("  %-44s", name)
+		var first, last float64
+		cells := 0
+		for i := range reports {
+			r, ok := byName[i][name]
+			if !ok || r.NsPerOp <= 0 {
+				fmt.Printf(" %14s", "-")
+				continue
+			}
+			fmt.Printf(" %14.0f", r.NsPerOp)
+			if first == 0 {
+				first = r.NsPerOp
+			}
+			last = r.NsPerOp
+			cells++
+		}
+		if cells > 1 {
+			fmt.Printf("  %+9.1f%%\n", (last-first)/first*100)
+		} else {
+			fmt.Printf("  %10s\n", "-")
+		}
+	}
+	return nil
 }

@@ -50,6 +50,10 @@ func main() {
 		killAt       = flag.Duration("kill-at", 0, "kill -kill-node this long into the run (0 = no kill)")
 		restartAfter = flag.Duration("restart-after", 0, "restart the killed node this long after the kill (0 = stays down)")
 		retries      = flag.Int("request-retries", 0, "per-request transport-failure retries (fresh connection each)")
+
+		stampede = flag.Bool("stampede", false, "reconnect-stampede scenario: all clients dial at once, 0% resumption (forces -resume 0 -churn 1)")
+		signpool = flag.Int("signpool", 0, "RSA sign/decrypt worker-pool size (0 = key ops inline)")
+		keyBits  = flag.Int("keybits", 0, "server RSA key size (0 = 512; stampede runs want 1024)")
 	)
 	flag.Parse()
 
@@ -76,6 +80,9 @@ func main() {
 		HubLatency:    *latency,
 		Plain:         *plain,
 		Wall:          *wall,
+		Stampede:      *stampede,
+		SignWorkers:   *signpool,
+		KeyBits:       *keyBits,
 	}
 	if *instances > 1 {
 		cfg.Instances = *instances

@@ -52,6 +52,9 @@ type Config struct {
 	SessionCacheSize int
 	// MaxInflight is each instance's admission bound (0 = unbounded).
 	MaxInflight int
+	// SignWorkers sizes each instance's RSA sign/decrypt worker pool
+	// (see redirector.Config.SignWorkers). 0 runs key ops inline.
+	SignWorkers int
 	// DrainTimeout is each instance's graceful-close budget.
 	DrainTimeout time.Duration
 	// Policy, ForwardTimeout and Health configure the balancer.
@@ -192,6 +195,7 @@ func (c *Cluster) startNode(node *Node) error {
 		Secure:       c.cfg.Secure,
 		ServerKey:    c.cfg.ServerKey,
 		MaxInflight:  c.cfg.MaxInflight,
+		SignWorkers:  c.cfg.SignWorkers,
 		DrainTimeout: c.cfg.DrainTimeout,
 		RandSeed:     c.cfg.RandSeed ^ (uint64(node.Index+1) * 0x9E3779B97F4A7C15),
 		Metrics:      node.Registry,

@@ -1,40 +1,43 @@
 package bignum
 
-// Montgomery-form modular exponentiation. The schoolbook ModExp in
-// bignum.go squares with a full Mul followed by a Knuth long division
-// per step — the exact shape of the "difficult-to-port bignum package"
-// the paper's RMC2000 port gave up on. The host profile keeps RSA, so
-// the hot path gets the standard fix: CIOS Montgomery multiplication
-// (one fused multiply-reduce pass, no division) under a 4-bit window.
-// The schoolbook path survives as modExpBasic, the oracle the perf
-// tests diff against, and still serves even moduli.
+import "math/bits"
 
-// montCtx caches the per-modulus constants: n0 = -m^-1 mod 2^32 and
-// rr = R^2 mod m for R = 2^(32·len(m)).
+// Montgomery-form modular exponentiation over 64-bit limbs. The
+// schoolbook ModExp in bignum.go squares with a full Mul followed by a
+// Knuth long division per step — the exact shape of the
+// "difficult-to-port bignum package" the paper's RMC2000 port gave up
+// on. The host profile keeps RSA, so the hot path gets the standard
+// fix: CIOS Montgomery multiplication (one fused multiply-reduce pass
+// over 64×64→128 products, no division) under a 4-bit window. The
+// schoolbook path survives as modExpBasic, the oracle the perf tests
+// diff against, and still serves even moduli.
+
+// montCtx caches the per-modulus constants: n0 = -m^-1 mod 2^64 and
+// rr = R^2 mod m for R = 2^(64·len(m)).
 type montCtx struct {
-	m  []uint32
-	n0 uint32
-	rr []uint32
+	m  []uint64
+	n0 uint64
+	rr []uint64
 }
 
 func newMontCtx(m Int) *montCtx {
 	n := len(m.limbs)
 	ctx := &montCtx{m: m.limbs}
-	// Newton iteration for m[0]^-1 mod 2^32: an odd m0 is its own
+	// Newton iteration for m[0]^-1 mod 2^64: an odd m0 is its own
 	// inverse mod 8, and each step doubles the valid bit count
-	// (3 → 6 → 12 → 24 → 48 ≥ 32).
+	// (3 → 6 → 12 → 24 → 48 → 96 ≥ 64).
 	m0 := m.limbs[0]
 	inv := m0
-	for i := 0; i < 4; i++ {
+	for i := 0; i < 5; i++ {
 		inv *= 2 - m0*inv
 	}
 	ctx.n0 = -inv
-	ctx.rr = padTo(One().Shl(64*n).Mod(m).limbs, n) // 2^(2·32n) mod m
+	ctx.rr = padTo(One().Shl(128*n).Mod(m).limbs, n) // 2^(2·64n) mod m
 	return ctx
 }
 
-func padTo(l []uint32, n int) []uint32 {
-	out := make([]uint32, n)
+func padTo(l []uint64, n int) []uint64 {
+	out := make([]uint64, n)
 	copy(out, l)
 	return out
 }
@@ -43,35 +46,45 @@ func padTo(l []uint32, n int) []uint32 {
 // Operand Scanning). a, b and dst are n limbs; t is n+2 limbs of
 // scratch. dst may alias a and/or b: the result is accumulated in t
 // and written back only at the end.
-func (ctx *montCtx) mul(dst, a, b, t []uint32) {
-	m, n0 := ctx.m, uint64(ctx.n0)
+func (ctx *montCtx) mul(dst, a, b, t []uint64) {
+	m, n0 := ctx.m, ctx.n0
 	n := len(m)
 	for i := range t {
 		t[i] = 0
 	}
 	for i := 0; i < n; i++ {
-		bi := uint64(b[i])
+		bi := b[i]
 		var carry uint64
 		for j := 0; j < n; j++ {
-			s := uint64(t[j]) + uint64(a[j])*bi + carry
-			t[j] = uint32(s)
-			carry = s >> 32
+			hi, lo := bits.Mul64(a[j], bi)
+			lo, c := bits.Add64(lo, t[j], 0)
+			hi += c
+			lo, c = bits.Add64(lo, carry, 0)
+			hi += c
+			t[j] = lo
+			carry = hi
 		}
-		s := uint64(t[n]) + carry
-		t[n] = uint32(s)
-		t[n+1] = uint32(s >> 32)
+		s, c := bits.Add64(t[n], carry, 0)
+		t[n] = s
+		t[n+1] = c
 
 		// Fold in u·m so the low limb cancels, then shift down a limb.
-		u := uint64(uint32(uint64(t[0]) * n0))
-		carry = (uint64(t[0]) + u*uint64(m[0])) >> 32
+		u := t[0] * n0
+		hi, lo := bits.Mul64(u, m[0])
+		_, c = bits.Add64(lo, t[0], 0) // low limb cancels to zero by construction
+		carry = hi + c
 		for j := 1; j < n; j++ {
-			s := uint64(t[j]) + u*uint64(m[j]) + carry
-			t[j-1] = uint32(s)
-			carry = s >> 32
+			hi, lo := bits.Mul64(u, m[j])
+			lo, c := bits.Add64(lo, t[j], 0)
+			hi += c
+			lo, c = bits.Add64(lo, carry, 0)
+			hi += c
+			t[j-1] = lo
+			carry = hi
 		}
-		s = uint64(t[n]) + carry
-		t[n-1] = uint32(s)
-		t[n] = t[n+1] + uint32(s>>32)
+		s, c = bits.Add64(t[n], carry, 0)
+		t[n-1] = s
+		t[n] = t[n+1] + c
 	}
 	// Conditional final subtraction: t may be in [0, 2m).
 	ge := t[n] != 0
@@ -87,9 +100,7 @@ func (ctx *montCtx) mul(dst, a, b, t []uint32) {
 	if ge {
 		var borrow uint64
 		for i := 0; i < n; i++ {
-			d := uint64(t[i]) - uint64(m[i]) - borrow
-			dst[i] = uint32(d)
-			borrow = d >> 63
+			dst[i], borrow = bits.Sub64(t[i], m[i], borrow)
 		}
 	} else {
 		copy(dst, t[:n])
@@ -100,21 +111,21 @@ func (ctx *montCtx) mul(dst, a, b, t []uint32) {
 // x must already be reduced mod m; m must be odd.
 func (ctx *montCtx) exp(x, e Int) Int {
 	n := len(ctx.m)
-	t := make([]uint32, n+2)
-	one := make([]uint32, n)
+	t := make([]uint64, n+2)
+	one := make([]uint64, n)
 	one[0] = 1
-	rmod := make([]uint32, n) // R mod m = montgomery form of 1
+	rmod := make([]uint64, n) // R mod m = montgomery form of 1
 	ctx.mul(rmod, one, ctx.rr, t)
 
-	xm := make([]uint32, n)
+	xm := make([]uint64, n)
 	ctx.mul(xm, padTo(x.limbs, n), ctx.rr, t)
 
 	// win[w] = x^w in Montgomery form.
-	var win [16][]uint32
+	var win [16][]uint64
 	win[0] = rmod
 	win[1] = xm
 	for i := 2; i < 16; i++ {
-		win[i] = make([]uint32, n)
+		win[i] = make([]uint64, n)
 		ctx.mul(win[i], win[i-1], xm, t)
 	}
 
@@ -131,7 +142,7 @@ func (ctx *montCtx) exp(x, e Int) Int {
 			ctx.mul(acc, acc, win[w], t)
 		}
 	}
-	out := make([]uint32, n)
+	out := make([]uint64, n)
 	ctx.mul(out, acc, one, t) // leave Montgomery form
 	return Int{limbs: norm(out)}
 }

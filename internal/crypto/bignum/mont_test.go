@@ -7,9 +7,9 @@ import (
 
 func randInt(rng *rand.Rand, maxLimbs int) Int {
 	n := 1 + rng.Intn(maxLimbs)
-	l := make([]uint32, n)
+	l := make([]uint64, n)
 	for i := range l {
-		l[i] = rng.Uint32()
+		l[i] = rng.Uint64()
 	}
 	return Int{limbs: norm(l)}
 }
@@ -28,7 +28,7 @@ func TestMontExpEquivalence(t *testing.T) {
 		if len(m.limbs) == 0 {
 			m = One()
 		}
-		m.limbs = append([]uint32(nil), m.limbs...)
+		m.limbs = append([]uint64(nil), m.limbs...)
 		m.limbs[0] |= 1 // force odd
 		x := randInt(rng, 7)
 		e := randInt(rng, 3)
@@ -62,17 +62,17 @@ func TestMontExpEvenModulus(t *testing.T) {
 func benchModExpInputs() (x, e, m Int) {
 	rng := rand.New(rand.NewSource(32))
 	// 1024-bit odd modulus, 1024-bit exponent: the RSA private-key shape.
-	m = randInt(rng, 32)
-	for len(m.limbs) < 32 {
-		m.limbs = append(m.limbs, rng.Uint32()|1)
+	m = randInt(rng, 16)
+	for len(m.limbs) < 16 {
+		m.limbs = append(m.limbs, rng.Uint64()|1)
 	}
 	m.limbs[0] |= 1
-	m.limbs[31] |= 0x80000000
-	e = randInt(rng, 32)
-	for len(e.limbs) < 32 {
-		e.limbs = append(e.limbs, rng.Uint32()|1)
+	m.limbs[15] |= 1 << 63
+	e = randInt(rng, 16)
+	for len(e.limbs) < 16 {
+		e.limbs = append(e.limbs, rng.Uint64()|1)
 	}
-	x = randInt(rng, 31)
+	x = randInt(rng, 15)
 	return
 }
 

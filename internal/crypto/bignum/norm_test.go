@@ -1,0 +1,82 @@
+package bignum
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSetUint64Normalization pins the normalized-representation
+// invariant on the in-place setter: zero is the empty limb slice
+// (never a [0] limb), and storage reuse can't leak stale high limbs.
+func TestSetUint64Normalization(t *testing.T) {
+	var x Int
+	x.SetUint64(0)
+	if !x.IsZero() || len(x.limbs) != 0 {
+		t.Fatalf("SetUint64(0) on zero value: limbs=%v", x.limbs)
+	}
+
+	x.SetUint64(0xdeadbeefcafef00d)
+	if got := x.Uint64(); got != 0xdeadbeefcafef00d {
+		t.Fatalf("SetUint64 round trip: got %#x", got)
+	}
+	if len(x.limbs) != 1 {
+		t.Fatalf("single-limb value has %d limbs", len(x.limbs))
+	}
+
+	// Reset a wide value back to zero: must normalize, not keep a
+	// zero limb from the reused storage.
+	x = FromBytes(bytes.Repeat([]byte{0xff}, 40))
+	x.SetUint64(0)
+	if !x.IsZero() || len(x.limbs) != 0 {
+		t.Fatalf("SetUint64(0) after wide value: limbs=%v", x.limbs)
+	}
+	if x.Cmp(Zero()) != 0 || x.String() != "0" || x.Bytes() != nil {
+		t.Fatalf("zero after reset misbehaves: %q %v", x.String(), x.Bytes())
+	}
+
+	// Reset a wide value to a small one: stale high limbs must not
+	// survive the slice reuse.
+	x = FromBytes(bytes.Repeat([]byte{0xff}, 40))
+	x.SetUint64(7)
+	if x.Cmp(FromUint64(7)) != 0 || len(x.limbs) != 1 {
+		t.Fatalf("SetUint64(7) after wide value: %s limbs=%v", x.String(), x.limbs)
+	}
+}
+
+// TestFromBytesNormalization covers the FromBytes corners: empty
+// input, all-zero input, leading zero bytes (which land in the top
+// limb and must be stripped), and the limb-boundary widths.
+func TestFromBytesNormalization(t *testing.T) {
+	if x := FromBytes(nil); !x.IsZero() || len(x.limbs) != 0 {
+		t.Fatalf("FromBytes(nil): limbs=%v", x.limbs)
+	}
+	if x := FromBytes(make([]byte, 17)); !x.IsZero() || len(x.limbs) != 0 {
+		t.Fatalf("FromBytes(zeros): limbs=%v", x.limbs)
+	}
+
+	// Leading zeros spanning whole limbs: 16 zero bytes then one set
+	// byte gives trailing zero limbs pre-norm.
+	b := make([]byte, 17)
+	b[16] = 0x2a
+	x := FromBytes(b)
+	if x.Cmp(FromUint64(0x2a)) != 0 || len(x.limbs) != 1 {
+		t.Fatalf("leading-zero bytes: %s limbs=%v", x.String(), x.limbs)
+	}
+
+	// Exactly one limb of bytes, then one byte over the boundary.
+	one := bytes.Repeat([]byte{0xab}, 8)
+	if x := FromBytes(one); len(x.limbs) != 1 || !bytes.Equal(x.Bytes(), one) {
+		t.Fatalf("8-byte round trip: limbs=%d bytes=%x", len(x.limbs), x.Bytes())
+	}
+	over := append([]byte{0x01}, one...)
+	if x := FromBytes(over); len(x.limbs) != 2 || !bytes.Equal(x.Bytes(), over) {
+		t.Fatalf("9-byte round trip: limbs=%d bytes=%x", len(x.limbs), x.Bytes())
+	}
+
+	// A value whose top byte is zero after stripping must not be
+	// confused with the padded form under Cmp.
+	small := FromBytes([]byte{0x00, 0x00, 0x01})
+	if small.Cmp(FromUint64(1)) != 0 || small.BitLen() != 1 {
+		t.Fatalf("padded small value: %s bitlen=%d", small.String(), small.BitLen())
+	}
+}

@@ -1,23 +1,19 @@
-// Package bignum is an arbitrary-precision unsigned integer package
-// implemented from scratch (math/big is deliberately not used). It
-// stands in for the "difficult-to-port bignum package" that the RSA
-// cipher in issl depended on — the dependency that made the RMC2000
-// port drop RSA entirely. The Unix-profile issl here keeps RSA, so the
-// library needs a real bignum.
+// Package bignum32 is the retained 32-bit limb implementation of the
+// bignum package — the exact arithmetic that shipped before the limb
+// width was doubled to uint64. It is kept in-tree as the differential
+// oracle: internal/conform and the bignum fuzz targets diff every
+// operation of the 64-bit package against this one (and both against
+// math/big), so a carry bug in the wide rewrite cannot hide. It also
+// anchors the BenchmarkKernel*Limb32 before/after benchmarks.
 //
-// Representation: little-endian []uint64 limbs with no trailing zero
+// Representation: little-endian []uint32 limbs with no trailing zero
 // limbs (zero is the empty slice). All values are non-negative; RSA
-// needs no signed arithmetic. The limb width was doubled from uint32
-// to uint64 (math/bits.Mul64/Add64 128-bit arithmetic) to halve the
-// inner-loop trip counts of the multiply/reduce kernels; the retained
-// 32-bit implementation lives in internal/crypto/bignum32 and is
-// diffed limb-for-limb by internal/conform and the fuzz targets.
-package bignum
+// needs no signed arithmetic.
+package bignum32
 
 import (
 	"errors"
 	"fmt"
-	"math/bits"
 	"strings"
 )
 
@@ -26,7 +22,7 @@ import (
 // all methods return fresh values and never alias their operands'
 // storage in results.
 type Int struct {
-	limbs []uint64 // little-endian, normalized (no trailing zeros)
+	limbs []uint32 // little-endian, normalized (no trailing zeros)
 }
 
 // ErrDivByZero is returned by Div/Mod family operations for a zero divisor.
@@ -43,33 +39,43 @@ func FromUint64(v uint64) Int {
 	if v == 0 {
 		return Int{}
 	}
-	return Int{limbs: []uint64{v}}
+	if v <= 0xffffffff {
+		return Int{limbs: []uint32{uint32(v)}}
+	}
+	return Int{limbs: []uint32{uint32(v), uint32(v >> 32)}}
 }
 
 // SetUint64 resets x in place to the value v, reusing its limb storage
 // when possible, and returns x. The normalized invariant holds: zero is
 // the empty slice, never a [0] limb.
 func (x *Int) SetUint64(v uint64) *Int {
+	n := 1
+	if v > 0xffffffff {
+		n = 2
+	}
 	if v == 0 {
 		x.limbs = x.limbs[:0]
 		return x
 	}
-	if cap(x.limbs) >= 1 {
-		x.limbs = x.limbs[:1]
+	if cap(x.limbs) >= n {
+		x.limbs = x.limbs[:n]
 	} else {
-		x.limbs = make([]uint64, 1)
+		x.limbs = make([]uint32, n)
 	}
-	x.limbs[0] = v
+	x.limbs[0] = uint32(v)
+	if n == 2 {
+		x.limbs[1] = uint32(v >> 32)
+	}
 	return x
 }
 
 // FromBytes builds an Int from big-endian bytes.
 func FromBytes(b []byte) Int {
-	n := (len(b) + 7) / 8
-	limbs := make([]uint64, n)
+	n := (len(b) + 3) / 4
+	limbs := make([]uint32, n)
 	for i, by := range b {
-		shift := uint((len(b) - 1 - i) % 8 * 8)
-		limbs[(len(b)-1-i)/8] |= uint64(by) << shift
+		shift := uint((len(b) - 1 - i) % 4 * 8)
+		limbs[(len(b)-1-i)/4] |= uint32(by) << shift
 	}
 	return Int{limbs: norm(limbs)}
 }
@@ -99,7 +105,7 @@ func MustDecimal(s string) Int {
 	return x
 }
 
-func norm(l []uint64) []uint64 {
+func norm(l []uint32) []uint32 {
 	for len(l) > 0 && l[len(l)-1] == 0 {
 		l = l[:len(l)-1]
 	}
@@ -114,10 +120,14 @@ func (x Int) IsOdd() bool { return len(x.limbs) > 0 && x.limbs[0]&1 == 1 }
 
 // Uint64 returns the low 64 bits of x.
 func (x Int) Uint64() uint64 {
-	if len(x.limbs) == 0 {
-		return 0
+	var v uint64
+	if len(x.limbs) > 0 {
+		v = uint64(x.limbs[0])
 	}
-	return x.limbs[0]
+	if len(x.limbs) > 1 {
+		v |= uint64(x.limbs[1]) << 32
+	}
+	return v
 }
 
 // BitLen returns the number of bits in x (0 for x == 0).
@@ -125,16 +135,22 @@ func (x Int) BitLen() int {
 	if len(x.limbs) == 0 {
 		return 0
 	}
-	return (len(x.limbs)-1)*64 + bits.Len64(x.limbs[len(x.limbs)-1])
+	top := x.limbs[len(x.limbs)-1]
+	n := (len(x.limbs) - 1) * 32
+	for top != 0 {
+		n++
+		top >>= 1
+	}
+	return n
 }
 
 // Bit returns bit i of x (0 or 1).
 func (x Int) Bit(i int) uint {
-	limb := i / 64
+	limb := i / 32
 	if limb >= len(x.limbs) {
 		return 0
 	}
-	return uint(x.limbs[limb] >> (i % 64) & 1)
+	return uint(x.limbs[limb] >> (i % 32) & 1)
 }
 
 // Bytes returns x as big-endian bytes with no leading zeros
@@ -146,8 +162,8 @@ func (x Int) Bytes() []byte {
 	n := (x.BitLen() + 7) / 8
 	out := make([]byte, n)
 	for i := 0; i < n; i++ {
-		limb := i / 8
-		shift := uint(i % 8 * 8)
+		limb := i / 4
+		shift := uint(i % 4 * 8)
 		out[n-1-i] = byte(x.limbs[limb] >> shift)
 	}
 	return out
@@ -192,18 +208,17 @@ func (x Int) Add(y Int) Int {
 	if len(a) < len(b) {
 		a, b = b, a
 	}
-	out := make([]uint64, len(a)+1)
+	out := make([]uint32, len(a)+1)
 	var carry uint64
 	for i := range a {
-		s := a[i]
+		s := uint64(a[i]) + carry
 		if i < len(b) {
-			s, carry = bits.Add64(s, b[i], carry)
-		} else {
-			s, carry = bits.Add64(s, 0, carry)
+			s += uint64(b[i])
 		}
-		out[i] = s
+		out[i] = uint32(s)
+		carry = s >> 32
 	}
-	out[len(a)] = carry
+	out[len(a)] = uint32(carry)
 	return Int{limbs: norm(out)}
 }
 
@@ -212,39 +227,33 @@ func (x Int) Sub(y Int) Int {
 	if x.Cmp(y) < 0 {
 		panic("bignum: negative result in Sub")
 	}
-	out := make([]uint64, len(x.limbs))
+	out := make([]uint32, len(x.limbs))
 	var borrow uint64
 	for i := range x.limbs {
-		d := x.limbs[i]
+		d := uint64(x.limbs[i]) - borrow
 		if i < len(y.limbs) {
-			d, borrow = bits.Sub64(d, y.limbs[i], borrow)
-		} else {
-			d, borrow = bits.Sub64(d, 0, borrow)
+			d -= uint64(y.limbs[i])
 		}
-		out[i] = d
+		out[i] = uint32(d)
+		borrow = d >> 63 // 1 if underflowed
 	}
 	return Int{limbs: norm(out)}
 }
 
-// Mul returns x * y (schoolbook over 64×64→128 limb products; fine at
-// RSA sizes).
+// Mul returns x * y (schoolbook; fine at RSA sizes).
 func (x Int) Mul(y Int) Int {
 	if x.IsZero() || y.IsZero() {
 		return Int{}
 	}
-	out := make([]uint64, len(x.limbs)+len(y.limbs))
+	out := make([]uint32, len(x.limbs)+len(y.limbs))
 	for i, xi := range x.limbs {
 		var carry uint64
 		for j, yj := range y.limbs {
-			hi, lo := bits.Mul64(xi, yj)
-			lo, c := bits.Add64(lo, out[i+j], 0)
-			hi += c
-			lo, c = bits.Add64(lo, carry, 0)
-			hi += c
-			out[i+j] = lo
-			carry = hi
+			t := uint64(xi)*uint64(yj) + uint64(out[i+j]) + carry
+			out[i+j] = uint32(t)
+			carry = t >> 32
 		}
-		out[i+len(y.limbs)] = carry
+		out[i+len(y.limbs)] = uint32(carry)
 	}
 	return Int{limbs: norm(out)}
 }
@@ -252,14 +261,14 @@ func (x Int) Mul(y Int) Int {
 // Shl returns x << n.
 func (x Int) Shl(n int) Int {
 	if x.IsZero() || n == 0 {
-		return Int{limbs: append([]uint64(nil), x.limbs...)}
+		return Int{limbs: append([]uint32(nil), x.limbs...)}
 	}
-	limbShift, bitShift := n/64, uint(n%64)
-	out := make([]uint64, len(x.limbs)+limbShift+1)
+	limbShift, bitShift := n/32, uint(n%32)
+	out := make([]uint32, len(x.limbs)+limbShift+1)
 	for i, l := range x.limbs {
 		out[i+limbShift] |= l << bitShift
 		if bitShift > 0 {
-			out[i+limbShift+1] |= l >> (64 - bitShift)
+			out[i+limbShift+1] |= l >> (32 - bitShift)
 		}
 	}
 	return Int{limbs: norm(out)}
@@ -267,15 +276,15 @@ func (x Int) Shl(n int) Int {
 
 // Shr returns x >> n.
 func (x Int) Shr(n int) Int {
-	limbShift, bitShift := n/64, uint(n%64)
+	limbShift, bitShift := n/32, uint(n%32)
 	if limbShift >= len(x.limbs) {
 		return Int{}
 	}
-	out := make([]uint64, len(x.limbs)-limbShift)
+	out := make([]uint32, len(x.limbs)-limbShift)
 	for i := range out {
 		out[i] = x.limbs[i+limbShift] >> bitShift
 		if bitShift > 0 && i+limbShift+1 < len(x.limbs) {
-			out[i] |= x.limbs[i+limbShift+1] << (64 - bitShift)
+			out[i] |= x.limbs[i+limbShift+1] << (32 - bitShift)
 		}
 	}
 	return Int{limbs: norm(out)}
@@ -288,72 +297,79 @@ func (x Int) DivMod(y Int) (q, r Int, err error) {
 		return Int{}, Int{}, ErrDivByZero
 	}
 	if x.Cmp(y) < 0 {
-		return Int{}, Int{limbs: append([]uint64(nil), x.limbs...)}, nil
+		return Int{}, Int{limbs: append([]uint32(nil), x.limbs...)}, nil
 	}
 	if len(y.limbs) == 1 {
-		d := y.limbs[0]
-		out := make([]uint64, len(x.limbs))
+		d := uint64(y.limbs[0])
+		out := make([]uint32, len(x.limbs))
 		var rem uint64
 		for i := len(x.limbs) - 1; i >= 0; i-- {
-			out[i], rem = bits.Div64(rem, x.limbs[i], d)
+			cur := rem<<32 | uint64(x.limbs[i])
+			out[i] = uint32(cur / d)
+			rem = cur % d
 		}
 		return Int{limbs: norm(out)}, FromUint64(rem), nil
 	}
 	// Normalize so the divisor's top limb has its high bit set.
-	shift := bits.LeadingZeros64(y.limbs[len(y.limbs)-1])
+	shift := 0
+	for top := y.limbs[len(y.limbs)-1]; top&0x80000000 == 0; top <<= 1 {
+		shift++
+	}
 	v := y.Shl(shift).limbs
 	un := x.Shl(shift).limbs
 	n := len(v)
 	// u needs m+n+1 limbs.
-	u := make([]uint64, len(un)+1)
+	u := make([]uint32, len(un)+1)
 	copy(u, un)
 	m := len(u) - n - 1
-	qLimbs := make([]uint64, m+1)
+	qLimbs := make([]uint32, m+1)
 	for j := m; j >= 0; j-- {
 		// Estimate qhat from the top two limbs of the current remainder.
-		// bits.Div64 panics when the high word >= divisor, which here
-		// means qhat would be >= 2^64: clamp to the all-ones limb and
-		// let the add-back correction below absorb the overshoot.
-		var qhat, rhat uint64
-		if u[j+n] >= v[n-1] {
-			qhat = ^uint64(0)
-		} else {
-			qhat, rhat = bits.Div64(u[j+n], u[j+n-1], v[n-1])
-			// Refine: while qhat*v[n-2] overshoots the 128-bit
-			// remainder tail, step qhat down (at most twice).
-			for {
-				hi, lo := bits.Mul64(qhat, v[n-2])
-				if hi < rhat || (hi == rhat && lo <= u[j+n-2]) {
-					break
-				}
-				qhat--
-				var c uint64
-				rhat, c = bits.Add64(rhat, v[n-1], 0)
-				if c != 0 {
-					break
-				}
+		num := uint64(u[j+n])<<32 | uint64(u[j+n-1])
+		qhat := num / uint64(v[n-1])
+		rhat := num % uint64(v[n-1])
+		for qhat > 0xffffffff ||
+			qhat*uint64(v[n-2]) > rhat<<32|uint64(u[j+n-2]) {
+			qhat--
+			rhat += uint64(v[n-1])
+			if rhat > 0xffffffff {
+				break
 			}
 		}
 		// Multiply-subtract qhat*v from u[j..j+n].
-		var borrow, mulCarry uint64
+		var borrow int64
+		var carry uint64
 		for i := 0; i < n; i++ {
-			hi, lo := bits.Mul64(qhat, v[i])
-			lo, c := bits.Add64(lo, mulCarry, 0)
-			mulCarry = hi + c
-			u[i+j], borrow = bits.Sub64(u[i+j], lo, borrow)
+			// Fold the multiply carry into the product before splitting,
+			// so the extra bit propagates correctly.
+			p := qhat*uint64(v[i]) + carry
+			sub := uint64(uint32(p))
+			carry = p >> 32
+			t := int64(uint64(u[i+j])) - int64(sub) - borrow
+			if t < 0 {
+				u[i+j] = uint32(t + (1 << 32))
+				borrow = 1
+			} else {
+				u[i+j] = uint32(t)
+				borrow = 0
+			}
 		}
-		t, underflow := bits.Sub64(u[j+n], mulCarry, borrow)
-		u[j+n] = t
-		if underflow != 0 {
+		t := int64(uint64(u[j+n])) - int64(carry) - borrow
+		if t < 0 {
 			// qhat was one too large: add v back and decrement.
+			u[j+n] = uint32(t + (1 << 32))
 			qhat--
 			var c uint64
 			for i := 0; i < n; i++ {
-				u[i+j], c = bits.Add64(u[i+j], v[i], c)
+				s := uint64(u[i+j]) + uint64(v[i]) + c
+				u[i+j] = uint32(s)
+				c = s >> 32
 			}
-			u[j+n] += c
+			u[j+n] += uint32(c)
+		} else {
+			u[j+n] = uint32(t)
 		}
-		qLimbs[j] = qhat
+		qLimbs[j] = uint32(qhat)
 	}
 	r = Int{limbs: norm(u[:n])}.Shr(shift)
 	return Int{limbs: norm(qLimbs)}, r, nil

@@ -1,0 +1,78 @@
+package bignum32
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The 32-bit oracle package gets the same normalization pins as the
+// live 64-bit package: differential checks are only as honest as both
+// sides' representation invariants.
+
+func TestSetUint64Normalization(t *testing.T) {
+	var x Int
+	x.SetUint64(0)
+	if !x.IsZero() || len(x.limbs) != 0 {
+		t.Fatalf("SetUint64(0) on zero value: limbs=%v", x.limbs)
+	}
+
+	x.SetUint64(0xdeadbeefcafef00d)
+	if got := x.Uint64(); got != 0xdeadbeefcafef00d {
+		t.Fatalf("SetUint64 round trip: got %#x", got)
+	}
+	if len(x.limbs) != 2 {
+		t.Fatalf("two-limb value has %d limbs", len(x.limbs))
+	}
+	// A value that fits one uint32 limb must not carry a zero high limb.
+	x.SetUint64(5)
+	if len(x.limbs) != 1 || x.Cmp(FromUint64(5)) != 0 {
+		t.Fatalf("SetUint64(5): limbs=%v", x.limbs)
+	}
+
+	x = FromBytes(bytes.Repeat([]byte{0xff}, 40))
+	x.SetUint64(0)
+	if !x.IsZero() || len(x.limbs) != 0 {
+		t.Fatalf("SetUint64(0) after wide value: limbs=%v", x.limbs)
+	}
+	if x.Cmp(Zero()) != 0 || x.String() != "0" || x.Bytes() != nil {
+		t.Fatalf("zero after reset misbehaves: %q %v", x.String(), x.Bytes())
+	}
+
+	x = FromBytes(bytes.Repeat([]byte{0xff}, 40))
+	x.SetUint64(7)
+	if x.Cmp(FromUint64(7)) != 0 || len(x.limbs) != 1 {
+		t.Fatalf("SetUint64(7) after wide value: %s limbs=%v", x.String(), x.limbs)
+	}
+}
+
+func TestFromBytesNormalization(t *testing.T) {
+	if x := FromBytes(nil); !x.IsZero() || len(x.limbs) != 0 {
+		t.Fatalf("FromBytes(nil): limbs=%v", x.limbs)
+	}
+	if x := FromBytes(make([]byte, 9)); !x.IsZero() || len(x.limbs) != 0 {
+		t.Fatalf("FromBytes(zeros): limbs=%v", x.limbs)
+	}
+
+	// 8 zero bytes then one set byte: trailing zero limbs pre-norm.
+	b := make([]byte, 9)
+	b[8] = 0x2a
+	x := FromBytes(b)
+	if x.Cmp(FromUint64(0x2a)) != 0 || len(x.limbs) != 1 {
+		t.Fatalf("leading-zero bytes: %s limbs=%v", x.String(), x.limbs)
+	}
+
+	// Exactly one limb of bytes, then one byte over the boundary.
+	one := bytes.Repeat([]byte{0xab}, 4)
+	if x := FromBytes(one); len(x.limbs) != 1 || !bytes.Equal(x.Bytes(), one) {
+		t.Fatalf("4-byte round trip: limbs=%d bytes=%x", len(x.limbs), x.Bytes())
+	}
+	over := append([]byte{0x01}, one...)
+	if x := FromBytes(over); len(x.limbs) != 2 || !bytes.Equal(x.Bytes(), over) {
+		t.Fatalf("5-byte round trip: limbs=%d bytes=%x", len(x.limbs), x.Bytes())
+	}
+
+	small := FromBytes([]byte{0x00, 0x00, 0x01})
+	if small.Cmp(FromUint64(1)) != 0 || small.BitLen() != 1 {
+		t.Fatalf("padded small value: %s bitlen=%d", small.String(), small.BitLen())
+	}
+}

@@ -339,7 +339,9 @@ func (c *Conn) serverHandshake() error {
 	}
 
 	c.rng.Fill(c.hs.serverRandom[:])
-	hello := []byte{msgServerHello, byte(cfg.Profile), bitsByte(cfg.KeyBits), bitsByte(cfg.BlockBits)}
+	head := c.helloHead()
+	hello := make([]byte, 0, len(head)+randomLen+3+SessionIDLen)
+	hello = append(hello, head...)
 	hello = append(hello, c.hs.serverRandom[:]...)
 	promiseTicket := cfg.TicketKeys != nil
 	if cachedMaster != nil {
@@ -395,7 +397,7 @@ func (c *Conn) serverHandshake() error {
 		hello = append(hello, 0)
 	}
 	if cfg.Profile == ProfileUnix {
-		hello = append(hello, marshalPublicKey(&cfg.ServerKey.PublicKey)...)
+		hello = append(hello, c.helloPublicKey()...)
 	}
 	if err := c.sendHandshake(hello); err != nil {
 		return fmt.Errorf("%w: sending ServerHello: %v", ErrHandshake, err)
@@ -415,7 +417,7 @@ func (c *Conn) serverHandshake() error {
 		if len(kx) != 3+n {
 			return fmt.Errorf("%w: KeyExchange length mismatch", ErrHandshake)
 		}
-		pm, err := cfg.ServerKey.DecryptPKCS1(kx[3:])
+		pm, err := cfg.SignPool.Decrypt(cfg.ServerKey, kx[3:])
 		if err != nil {
 			return fmt.Errorf("%w: RSA decrypt: %v", ErrHandshake, err)
 		}

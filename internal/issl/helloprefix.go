@@ -1,0 +1,77 @@
+package issl
+
+// ServerHelloPrefix is the immutable head of every ServerHello a
+// server config can produce, built once per server instead of once per
+// connection: the 4-byte message header (type, profile, keyBits/8,
+// blockBits/8) and — for the Unix profile — the marshaled RSA public
+// key that closes a full-handshake hello. Only the per-connection
+// material (serverRandom, resumption fields, ticket promise) is
+// appended at handshake time.
+//
+// The server accedes to the client's cipher geometry, so the cache
+// only applies when the negotiated geometry matches the one the prefix
+// was built for; a client asking for a different key/block size falls
+// back to the build-per-connection path, byte-identically.
+type ServerHelloPrefix struct {
+	profile   Profile
+	keyBits   int
+	blockBits int
+	head      []byte // msgServerHello, profile, keyBits/8, blockBits/8
+	pubKey    []byte // marshaled server public key (Unix profile), nil otherwise
+}
+
+// NewServerHelloPrefix builds the cached prefix for cfg. The config
+// must already be validated (defaults applied); passing a server
+// Config before BindServer normalizes it is fine because validate is
+// re-run per connection and the geometry check below keeps the cache
+// honest.
+func NewServerHelloPrefix(cfg *Config) *ServerHelloPrefix {
+	keyBits, blockBits := cfg.KeyBits, cfg.BlockBits
+	if keyBits == 0 {
+		keyBits = 128
+	}
+	if blockBits == 0 {
+		blockBits = 128
+	}
+	p := &ServerHelloPrefix{
+		profile:   cfg.Profile,
+		keyBits:   keyBits,
+		blockBits: blockBits,
+		head: []byte{msgServerHello, byte(cfg.Profile),
+			bitsByte(keyBits), bitsByte(blockBits)},
+	}
+	if cfg.Profile == ProfileUnix && cfg.ServerKey != nil {
+		p.pubKey = marshalPublicKey(&cfg.ServerKey.PublicKey)
+	}
+	return p
+}
+
+// matches reports whether the cached prefix applies to the geometry
+// this connection actually negotiated.
+func (p *ServerHelloPrefix) matches(profile Profile, keyBits, blockBits int) bool {
+	return p != nil && p.profile == profile &&
+		p.keyBits == keyBits && p.blockBits == blockBits
+}
+
+// helloHead returns the 4-byte ServerHello header, from the cache when
+// it matches the negotiated geometry.
+func (c *Conn) helloHead() []byte {
+	cfg := &c.cfg
+	if hp := cfg.HelloPrefix; hp.matches(cfg.Profile, cfg.KeyBits, cfg.BlockBits) {
+		return hp.head
+	}
+	return []byte{msgServerHello, byte(cfg.Profile), bitsByte(cfg.KeyBits), bitsByte(cfg.BlockBits)}
+}
+
+// helloPublicKey returns the marshaled server public key for a full
+// Unix-profile ServerHello, cached when possible. Marshaling the key
+// is the expensive tail of the hello (two bignum Bytes() walks plus a
+// copy of the whole modulus); on a reconnect stampede it used to run
+// once per arriving client for an identical result.
+func (c *Conn) helloPublicKey() []byte {
+	cfg := &c.cfg
+	if hp := cfg.HelloPrefix; hp.matches(cfg.Profile, cfg.KeyBits, cfg.BlockBits) && hp.pubKey != nil {
+		return hp.pubKey
+	}
+	return marshalPublicKey(&cfg.ServerKey.PublicKey)
+}

@@ -1,0 +1,81 @@
+package issl
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"repro/internal/crypto/prng"
+)
+
+// runHandshake completes one Unix-profile handshake with the given
+// server config mutator and returns the server's ServerHello body as
+// captured from the transcript via a recording client.
+func handshakeWith(t *testing.T, srvCfg Config, keyBits, blockBits int) {
+	t.Helper()
+	ct, st := net.Pipe()
+	defer ct.Close()
+	defer st.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := BindServer(st, srvCfg)
+		done <- err
+		if err == nil {
+			buf := make([]byte, 64)
+			if n, rerr := conn.Read(buf); rerr == nil {
+				conn.Write(buf[:n])
+			}
+		}
+	}()
+	cli := Config{Profile: ProfileUnix, KeyBits: keyBits, BlockBits: blockBits,
+		Rand: prng.NewXorshift(404)}
+	conn, err := BindClient(ct, cli)
+	if err != nil {
+		t.Fatalf("client handshake (key=%d block=%d): %v", keyBits, blockBits, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server handshake: %v", err)
+	}
+	msg := []byte("prefix check")
+	conn.Write(msg)
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf)
+	if err != nil || !bytes.Equal(buf[:n], msg) {
+		t.Fatalf("echo: %q %v", buf[:n], err)
+	}
+}
+
+// TestServerHelloPrefixCached: a server with the cached prefix
+// completes handshakes at the config's own geometry AND at a different
+// client-negotiated geometry (where the cache must stand aside), and
+// the cached bytes match what the inline path builds.
+func TestServerHelloPrefixCached(t *testing.T) {
+	key := serverKey(t)
+	base := Config{Profile: ProfileUnix, ServerKey: key}
+	hp := NewServerHelloPrefix(&base)
+
+	wantHead := []byte{msgServerHello, byte(ProfileUnix), bitsByte(128), bitsByte(128)}
+	if !bytes.Equal(hp.head, wantHead) {
+		t.Fatalf("cached head = %x, want %x", hp.head, wantHead)
+	}
+	if !bytes.Equal(hp.pubKey, marshalPublicKey(&key.PublicKey)) {
+		t.Fatal("cached public key differs from inline marshal")
+	}
+	if !hp.matches(ProfileUnix, 128, 128) {
+		t.Error("prefix does not match its own geometry")
+	}
+	if hp.matches(ProfileUnix, 256, 128) || hp.matches(ProfileEmbedded, 128, 128) {
+		t.Error("prefix matches foreign geometry")
+	}
+
+	// Geometry match: cache used.
+	srv := base
+	srv.HelloPrefix, srv.Rand = hp, prng.NewXorshift(505)
+	handshakeWith(t, srv, 128, 128)
+
+	// Client negotiates 256/256: the server accedes, the cache stands
+	// aside, and the handshake still completes.
+	srv = base
+	srv.HelloPrefix, srv.Rand = hp, prng.NewXorshift(506)
+	handshakeWith(t, srv, 256, 256)
+}

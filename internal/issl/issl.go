@@ -97,6 +97,17 @@ type Config struct {
 	// which is what makes a multi-redirector fleet resume statelessly
 	// (see ticket.go). Optional; nil disables tickets.
 	TicketKeys *TicketKeyStore
+	// SignPool, when non-nil, runs the server's RSA private-key
+	// operations (KeyExchange decrypt) on a shared bounded worker pool
+	// instead of inline, so N simultaneous full handshakes queue for a
+	// fixed set of crypto workers rather than each grinding its own
+	// exponentiation. Shared across every connection of a server; see
+	// signpool.go. Optional; nil runs key ops inline.
+	SignPool *SignPool
+	// HelloPrefix, when non-nil, supplies the precomputed immutable
+	// ServerHello prefix (header bytes + marshaled public key) built
+	// once per server config; see helloprefix.go. Optional.
+	HelloPrefix *ServerHelloPrefix
 	// HandshakeTimeout bounds the whole handshake when > 0: a peer that
 	// stalls mid-handshake (a half-open connection on a degraded wire)
 	// fails with ErrHandshakeTimeout instead of wedging the endpoint

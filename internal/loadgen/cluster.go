@@ -33,6 +33,7 @@ func runRealCluster(cfg *Config, p *plan, hub *netsim.Hub, cli, back *tcpip.Stac
 		TicketMaterial:   []byte(fmt.Sprintf("loadgen ticket material %d", cfg.Seed)),
 		SessionCacheSize: cfg.CacheSessions,
 		MaxInflight:      cfg.MaxInflight,
+		SignWorkers:      cfg.SignWorkers,
 		Policy:           cluster.PolicyByName(cfg.Policy),
 		ForwardTimeout:   time.Second,
 		RandSeed:         cfg.Seed ^ 0xC105FEED,
@@ -41,7 +42,7 @@ func runRealCluster(cfg *Config, p *plan, hub *netsim.Hub, cli, back *tcpip.Stac
 		Log:              cfg.Log,
 	}
 	if !cfg.Plain {
-		key, err := rsa.GenerateKey(prng.NewXorshift(cfg.Seed^0x4B455947454E), 512)
+		key, err := rsa.GenerateKey(prng.NewXorshift(cfg.Seed^0x4B455947454E), cfg.KeyBits)
 		if err != nil {
 			return nil, err
 		}
@@ -123,6 +124,8 @@ func runRealCluster(cfg *Config, p *plan, hub *netsim.Hub, cli, back *tcpip.Stac
 		m.TicketsIssued += inst.TicketsIssued
 		m.TicketsResumed += inst.TicketsResumed
 		m.TicketsRejected += inst.TicketsRejected
+		m.SignPoolOps += c("issl.signpool_ops")
+		m.SignPoolQueueFull += c("issl.signpool_queue_full")
 	}
 
 	bs := cl.Balancer().Stats()
@@ -149,6 +152,7 @@ func runRealCluster(cfg *Config, p *plan, hub *netsim.Hub, cli, back *tcpip.Stac
 
 	if wall > 0 {
 		m.RPS = float64(m.Requests) / wall.Seconds()
+		m.HandshakesPerSec = float64(m.HandshakesFull+m.HandshakesResumed) / wall.Seconds()
 	}
 	if wallHist != nil {
 		pct := percentilesFrom(wallHist)

@@ -102,6 +102,19 @@ type Config struct {
 	// MaxInflight passes the redirector's admission bound through
 	// (0 = unbounded; per instance in cluster mode).
 	MaxInflight int
+	// Stampede runs the reconnect-stampede scenario: the whole fleet is
+	// held at a start gate and released at once, resumption is forced to
+	// 0% and every request reconnects — the worst-case full-handshake
+	// burst a restarted service absorbs. Implies Concurrency = Clients.
+	Stampede bool
+	// SignWorkers sizes the redirector's RSA sign/decrypt worker pool
+	// (0 = no pool, key ops run inline per connection; per instance in
+	// cluster mode). See issl.SignPool.
+	SignWorkers int
+	// KeyBits sizes the server's RSA key (default 512 — the historical
+	// loadgen key; 1024 makes the handshake RSA-bound, the stampede
+	// scenario's natural setting).
+	KeyBits int
 	// Instances runs the redirector as a fleet behind the L4 balancer
 	// (internal/cluster) when > 1: N instances, each with its own
 	// stack, session cache and telemetry registry, sharing only the
@@ -164,6 +177,24 @@ func (cfg *Config) withDefaults() (*Config, error) {
 	}
 	if c.Clients > MaxClients {
 		return nil, fmt.Errorf("loadgen: Clients %d exceeds limit %d", c.Clients, MaxClients)
+	}
+	if c.Stampede {
+		// All-fresh, all-at-once: no resumption, a reconnect per
+		// request, the whole fleet in flight simultaneously.
+		c.Resume = 0
+		c.ChurnEvery = 1
+		c.churnSet = false
+		c.Concurrency = c.Clients
+	}
+	if c.SignWorkers < 0 {
+		return nil, fmt.Errorf("loadgen: SignWorkers must be >= 0")
+	}
+	switch c.KeyBits {
+	case 0:
+		c.KeyBits = 512
+	case 512, 768, 1024, 2048:
+	default:
+		return nil, fmt.Errorf("loadgen: KeyBits %d not in {512, 768, 1024, 2048}", c.KeyBits)
 	}
 	if c.Requests <= 0 {
 		c.Requests = 2
@@ -240,6 +271,11 @@ func Run(cfg Config) (*Report, error) {
 		MaxInflight: c.MaxInflight,
 		Secure:      !c.Plain,
 		Faulty:      c.Faults != nil,
+		Stampede:    c.Stampede,
+		SignWorkers: c.SignWorkers,
+	}
+	if !c.Plain {
+		rep.KeyBits = c.KeyBits
 	}
 	if c.Instances > 1 {
 		rep.Instances = c.Instances
@@ -364,13 +400,14 @@ func runReal(cfg *Config, p *plan) (*MeasuredReport, error) {
 		Secure:       !cfg.Plain,
 		MaxInflight:  cfg.MaxInflight,
 		SessionCache: issl.NewSessionCacheSharded(cfg.CacheSessions, cfg.CacheShards),
+		SignWorkers:  cfg.SignWorkers,
 		RandSeed:     cfg.Seed ^ 0x5EC0DE5EC0DE,
 		Metrics:      reg,
 		Trace:        cfg.Trace,
 		Log:          cfg.Log,
 	}
 	if !cfg.Plain {
-		key, err := rsa.GenerateKey(prng.NewXorshift(cfg.Seed^0x4B455947454E), 512)
+		key, err := rsa.GenerateKey(prng.NewXorshift(cfg.Seed^0x4B455947454E), cfg.KeyBits)
 		if err != nil {
 			return nil, err
 		}
@@ -401,9 +438,12 @@ func runReal(cfg *Config, p *plan) (*MeasuredReport, error) {
 		AdmissionRefused:  reg.Counter("redirector.refused_admission").Value(),
 		DialAttempts:      fc.dialAttempts.Load(),
 		DialFailures:      fc.dialFailures.Load(),
+		SignPoolOps:       reg.Counter("issl.signpool_ops").Value(),
+		SignPoolQueueFull: reg.Counter("issl.signpool_queue_full").Value(),
 	}
 	if wall > 0 {
 		m.RPS = float64(m.Requests) / wall.Seconds()
+		m.HandshakesPerSec = float64(m.HandshakesFull+m.HandshakesResumed) / wall.Seconds()
 	}
 	if wallHist != nil {
 		pct := percentilesFrom(wallHist)
@@ -426,6 +466,15 @@ func runFleet(cfg *Config, cli *tcpip.Stack, p *plan, ks *killState) (*fleetCoun
 		wallLog2 = cfg.Registry.Histogram("loadgen.latency_wall_ns")
 	}
 	sem := make(chan struct{}, cfg.Concurrency)
+
+	// The stampede gate: every client goroutine parks here until the
+	// whole fleet is spawned, then the close releases them into their
+	// first dial simultaneously. Non-stampede runs pre-close the gate so
+	// clients launch as they spawn.
+	gate := make(chan struct{})
+	if !cfg.Stampede {
+		close(gate)
+	}
 	start := time.Now()
 
 	var wg sync.WaitGroup
@@ -433,8 +482,13 @@ func runFleet(cfg *Config, cli *tcpip.Stack, p *plan, ks *killState) (*fleetCoun
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
+			<-gate
 			runClient(cfg, cli, &p.clients[ci], ci, sem, start, &fc, wallHist, wallLog2, ks)
 		}(ci)
+	}
+	if cfg.Stampede {
+		start = time.Now() // the measured window starts at the release
+		close(gate)
 	}
 	wg.Wait()
 	return &fc, time.Since(start), wallHist

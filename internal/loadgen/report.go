@@ -52,25 +52,34 @@ type VirtualReport struct {
 // (requests, errors, byte totals) are stable when the run is fault
 // free.
 type MeasuredReport struct {
-	DurationNs        uint64       `json:"duration_ns"`
-	RPS               float64      `json:"rps"`
-	Requests          uint64       `json:"requests"`
-	Errors            uint64       `json:"errors"`
-	EchoMismatches    uint64       `json:"echo_mismatches"`
-	Retries           uint64       `json:"request_retries,omitempty"`
-	ResumeFallbacks   uint64       `json:"resume_fallbacks,omitempty"`
-	BytesEchoed       uint64       `json:"bytes_echoed"`
-	HandshakesFull    uint64       `json:"handshakes_full"`
-	HandshakesResumed uint64       `json:"handshakes_resumed"`
-	HandshakesFailed  uint64       `json:"handshakes_failed"`
-	TicketsIssued     uint64       `json:"tickets_issued,omitempty"`
-	TicketsResumed    uint64       `json:"tickets_resumed,omitempty"`
-	TicketsRejected   uint64       `json:"tickets_rejected,omitempty"`
-	Accepted          uint64       `json:"accepted"`
-	Refused           uint64       `json:"refused"`
-	AdmissionRefused  uint64       `json:"admission_refused"`
-	DialAttempts      uint64       `json:"dial_attempts"`
-	DialFailures      uint64       `json:"dial_failures"`
+	DurationNs        uint64  `json:"duration_ns"`
+	RPS               float64 `json:"rps"`
+	Requests          uint64  `json:"requests"`
+	Errors            uint64  `json:"errors"`
+	EchoMismatches    uint64  `json:"echo_mismatches"`
+	Retries           uint64  `json:"request_retries,omitempty"`
+	ResumeFallbacks   uint64  `json:"resume_fallbacks,omitempty"`
+	BytesEchoed       uint64  `json:"bytes_echoed"`
+	HandshakesFull    uint64  `json:"handshakes_full"`
+	HandshakesResumed uint64  `json:"handshakes_resumed"`
+	HandshakesFailed  uint64  `json:"handshakes_failed"`
+	TicketsIssued     uint64  `json:"tickets_issued,omitempty"`
+	TicketsResumed    uint64  `json:"tickets_resumed,omitempty"`
+	TicketsRejected   uint64  `json:"tickets_rejected,omitempty"`
+	Accepted          uint64  `json:"accepted"`
+	Refused           uint64  `json:"refused"`
+	AdmissionRefused  uint64  `json:"admission_refused"`
+	DialAttempts      uint64  `json:"dial_attempts"`
+	DialFailures      uint64  `json:"dial_failures"`
+	// HandshakesPerSec is completed handshakes (full + resumed) per
+	// wall-clock second — the stampede scenario's SLO axis.
+	HandshakesPerSec float64 `json:"handshakes_per_sec,omitempty"`
+	// SignPoolOps / SignPoolQueueFull read the server's RSA worker pool:
+	// private-key operations run through it, and how many submissions
+	// found the queue full and had to wait (graceful queuing — never an
+	// error). Zero when no pool is configured.
+	SignPoolOps       uint64       `json:"signpool_ops,omitempty"`
+	SignPoolQueueFull uint64       `json:"signpool_queue_full,omitempty"`
 	WallLatency       *Percentiles `json:"wall_latency,omitempty"`
 
 	// PerInstance breaks the server-side counters down by fleet
@@ -128,6 +137,19 @@ type Delta struct {
 	Pct float64 `json:"pct"`
 }
 
+// keyBitsOf normalizes the server-key size for comparability: reports
+// written before the KeyBits knob existed (field absent → 0) all used
+// the historical 512-bit key.
+func keyBitsOf(r *Report) int {
+	if !r.Secure {
+		return 0
+	}
+	if r.KeyBits == 0 {
+		return 512
+	}
+	return r.KeyBits
+}
+
 func deltaOf(old, new float64) Delta {
 	d := Delta{Old: old, New: new}
 	if old != 0 {
@@ -166,6 +188,9 @@ type Report struct {
 	MaxInflight int     `json:"max_inflight"`
 	Secure      bool    `json:"secure"`
 	Faulty      bool    `json:"faulty"`
+	Stampede    bool    `json:"stampede,omitempty"`
+	SignWorkers int     `json:"sign_workers,omitempty"`
+	KeyBits     int     `json:"key_bits,omitempty"`
 	Instances   int     `json:"instances,omitempty"`
 	Policy      string  `json:"policy,omitempty"`
 	// VirtualOnly marks a run whose live half was skipped
@@ -196,7 +221,8 @@ func (r *Report) AttachBaseline(old *Report) {
 			old.Requests == r.Requests && old.Mode == r.Mode &&
 			old.Resume == r.Resume && old.ChurnEvery == r.ChurnEvery &&
 			old.Concurrency == r.Concurrency && old.Secure == r.Secure &&
-			old.Faulty == r.Faulty,
+			old.Faulty == r.Faulty && old.Stampede == r.Stampede &&
+			keyBitsOf(old) == keyBitsOf(r),
 		MeasuredRPS:   deltaOf(old.Measured.RPS, r.Measured.RPS),
 		VirtualRPS:    deltaOf(old.Virtual.RPS, r.Virtual.RPS),
 		VirtualP50Ns:  deltaOf(float64(old.Virtual.Latency.P50), float64(r.Virtual.Latency.P50)),
@@ -230,6 +256,11 @@ func (r *Report) WriteText(w io.Writer) error {
 	sec := "secure (issl Unix profile)"
 	if !r.Secure {
 		sec = "plaintext baseline"
+	} else if r.KeyBits != 0 && r.KeyBits != 512 {
+		sec = fmt.Sprintf("secure (issl Unix profile, %d-bit key)", r.KeyBits)
+	}
+	if r.Stampede {
+		mode += " stampede"
 	}
 	fmt.Fprintf(w, "loadbench: seed=%d  %d clients x %d requests  %s  %s\n",
 		r.Seed, r.Clients, r.Requests, mode, sec)
@@ -276,6 +307,21 @@ func (r *Report) WriteText(w io.Writer) error {
 	}
 	if m.WallLatency != nil {
 		writePct(w, "  wall latency", *m.WallLatency)
+	}
+
+	if r.Stampede || m.SignPoolOps > 0 {
+		fmt.Fprintf(w, "\nhandshake SLO")
+		if r.Stampede {
+			fmt.Fprintf(w, " (reconnect stampede: %d simultaneous dials, 0%% resumption)", r.Clients)
+		}
+		fmt.Fprintln(w, ":")
+		fmt.Fprintf(w, "  handshakes/sec %12.1f completed per wall second\n", m.HandshakesPerSec)
+		if r.SignWorkers > 0 {
+			fmt.Fprintf(w, "  sign pool      %12d ops through %d worker(s), %d queue-full waits\n",
+				m.SignPoolOps, r.SignWorkers, m.SignPoolQueueFull)
+		} else {
+			fmt.Fprintf(w, "  sign pool      %12s (RSA key ops inline per connection)\n", "disabled")
+		}
 	}
 
 	if c := m.Cluster; c != nil {

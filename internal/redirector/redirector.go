@@ -74,6 +74,14 @@ type Config struct {
 	// lets any instance of a multi-redirector fleet resume any client.
 	// Optional; nil keeps cache-only resumption.
 	TicketKeys *issl.TicketKeyStore
+	// SignWorkers sizes the shared RSA sign/decrypt worker pool for the
+	// secure Unix flavor: all connection handshakes funnel their
+	// private-key operations through this many workers (queue depth
+	// 4×workers; saturation queues gracefully, see issl.SignPool). A
+	// reconnect stampede then parallelizes across exactly this many
+	// cores instead of serializing wherever the scheduler lands. 0
+	// keeps the inline per-connection behavior.
+	SignWorkers int
 	// DrainTimeout bounds the graceful phase of Close: inflight
 	// connections get this long to finish on their own (counted in
 	// DrainedConns) before the remainder are aborted. 0 aborts
@@ -246,6 +254,11 @@ type UnixServer struct {
 
 	mu     sync.Mutex
 	active map[*tcpip.TCB]struct{}
+
+	// Per-server handshake-plane state, built once: the RSA worker pool
+	// every handler shares and the immutable ServerHello prefix.
+	signPool    *issl.SignPool
+	helloPrefix *issl.ServerHelloPrefix
 }
 
 // ErrBadConfig reports an unusable redirector configuration.
@@ -260,8 +273,17 @@ func NewUnixServer(stack *tcpip.Stack, cfg Config) (*UnixServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &UnixServer{cfg: cfg, stack: stack, lst: lst, stats: newStats(cfg.Metrics),
-		stop: make(chan struct{}), active: map[*tcpip.TCB]struct{}{}}, nil
+	s := &UnixServer{cfg: cfg, stack: stack, lst: lst, stats: newStats(cfg.Metrics),
+		stop: make(chan struct{}), active: map[*tcpip.TCB]struct{}{}}
+	if cfg.Secure {
+		if cfg.SignWorkers > 0 {
+			s.signPool = issl.NewSignPool(cfg.SignWorkers, 4*cfg.SignWorkers, cfg.Metrics)
+		}
+		s.helloPrefix = issl.NewServerHelloPrefix(&issl.Config{
+			Profile: issl.ProfileUnix, ServerKey: cfg.ServerKey,
+		})
+	}
+	return s, nil
 }
 
 // Stats exposes the live counters.
@@ -318,14 +340,16 @@ func (s *UnixServer) handle(id uint64, tcb *tcpip.TCB) {
 	var client io.ReadWriteCloser = tcb
 	if s.cfg.Secure {
 		cfg := issl.Config{
-			Profile:    issl.ProfileUnix,
-			ServerKey:  s.cfg.ServerKey,
-			Rand:       prng.NewXorshift(s.cfg.RandSeed ^ id),
-			Log:        s.cfg.Log,
-			Cache:      s.cfg.SessionCache,
-			TicketKeys: s.cfg.TicketKeys,
-			Metrics:    s.cfg.Metrics,
-			Trace:      s.cfg.Trace,
+			Profile:     issl.ProfileUnix,
+			ServerKey:   s.cfg.ServerKey,
+			Rand:        prng.NewXorshift(s.cfg.RandSeed ^ id),
+			Log:         s.cfg.Log,
+			Cache:       s.cfg.SessionCache,
+			TicketKeys:  s.cfg.TicketKeys,
+			SignPool:    s.signPool,
+			HelloPrefix: s.helloPrefix,
+			Metrics:     s.cfg.Metrics,
+			Trace:       s.cfg.Trace,
 		}
 		sc, err := issl.BindServer(tcb, cfg)
 		if err != nil {
@@ -389,6 +413,9 @@ func (s *UnixServer) Shutdown(drain time.Duration) {
 		s.mu.Unlock()
 	})
 	s.wg.Wait()
+	// After the last handler: release the sign-pool workers. Idempotent
+	// and nil-safe; a straggler submitting after this runs inline.
+	s.signPool.Close()
 }
 
 // connAndTransport closes both the secure layer and the TCP beneath it.
@@ -419,6 +446,8 @@ type EmbeddedServer struct {
 	runDone chan struct{}
 	wg      sync.WaitGroup // in-flight serveSlot helper goroutines
 	connSeq atomic.Uint64  // per-connection PRNG diversifier
+
+	helloPrefix *issl.ServerHelloPrefix // immutable ServerHello head, built once
 }
 
 // NewEmbeddedServer prepares the service over a Dynamic C environment.
@@ -429,8 +458,12 @@ func NewEmbeddedServer(env *dcsock.Env, cfg Config) (*EmbeddedServer, error) {
 	if cfg.Slots <= 0 {
 		cfg.Slots = 3 // the paper's maximum: "at most three requests"
 	}
-	return &EmbeddedServer{cfg: cfg, env: env, stats: newStats(cfg.Metrics),
-		runDone: make(chan struct{})}, nil
+	s := &EmbeddedServer{cfg: cfg, env: env, stats: newStats(cfg.Metrics),
+		runDone: make(chan struct{})}
+	if cfg.Secure {
+		s.helloPrefix = issl.NewServerHelloPrefix(&issl.Config{Profile: issl.ProfileEmbedded})
+	}
+	return s, nil
 }
 
 // Stats exposes the live counters.
@@ -520,12 +553,13 @@ func (s *EmbeddedServer) serveSlot(slot int, sock *dcsock.TCPSocket) {
 			// Diversify per connection, not just per slot: with a session
 			// cache, a slot re-running the same PRNG would reissue the
 			// same session IDs.
-			Rand:       prng.NewXorshift(s.cfg.RandSeed ^ uint64(slot+1)<<32 ^ s.connSeq.Add(1)),
-			Log:        s.cfg.Log,
-			Cache:      s.cfg.SessionCache,
-			TicketKeys: s.cfg.TicketKeys,
-			Metrics:    s.cfg.Metrics,
-			Trace:      s.cfg.Trace,
+			Rand:        prng.NewXorshift(s.cfg.RandSeed ^ uint64(slot+1)<<32 ^ s.connSeq.Add(1)),
+			Log:         s.cfg.Log,
+			Cache:       s.cfg.SessionCache,
+			TicketKeys:  s.cfg.TicketKeys,
+			HelloPrefix: s.helloPrefix,
+			Metrics:     s.cfg.Metrics,
+			Trace:       s.cfg.Trace,
 		}
 		sc, err := issl.BindServer(tr, cfg)
 		if err != nil {
